@@ -1,0 +1,49 @@
+// Ablation — the tag's 4 us guard interval (paper §2.2).
+//
+// Energy detection cannot locate the payload start exactly; the guard
+// absorbs the estimate's jitter, at the cost of usable window. This bench
+// sweeps the tag's timing error against the payload budget at each rate:
+// the paper's 4 us choice keeps the full paper payload viable while
+// tolerating the envelope detector's observed jitter.
+#include <cstdio>
+
+#include "backscatter/tag.h"
+#include "ble/single_tone.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace itb;
+
+  bench::header("Ablation.guard",
+                "max payload that fits vs tag timing error, per rate",
+                "the 4 us guard absorbs small detection jitter; beyond ~10 us "
+                "the paper payloads no longer fit the advertising window");
+
+  ble::SingleToneSpec spec;
+  spec.channel_index = 38;
+  const auto tone = ble::make_single_tone_packet(spec);
+
+  std::printf("timing_error_us,max_bytes_2mbps,max_bytes_5_5mbps,max_bytes_11mbps\n");
+  for (const double err : {0.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 40.0}) {
+    std::printf("%.0f", err);
+    for (const auto rate : {wifi::DsssRate::k2Mbps, wifi::DsssRate::k5_5Mbps,
+                            wifi::DsssRate::k11Mbps}) {
+      backscatter::TagConfig cfg;
+      cfg.wifi.rate = rate;
+      cfg.timing_error_us = err;
+      const backscatter::InterscatterTag tag(cfg);
+      std::size_t best = 0;
+      for (std::size_t n = 1; n <= 230; ++n) {
+        const auto plan = tag.plan(tone.packet, phy::Bytes(n, 0x42));
+        if (plan.has_value() && plan->fits_window) best = n;
+      }
+      std::printf(",%zu", best);
+    }
+    std::printf("\n");
+  }
+  bench::note(
+      "paper payloads (37/101/203 B verified) hold up to ~8 us of error; the "
+      "4 us guard sits at half that margin, trading 1-4 payload bytes for "
+      "robust energy-detection timing");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation — choice of the backscatter frequency shift (paper §3: "We
+// implement a 35.75 MHz shift which we found to be optimal for rejecting
+// the interference from the Bluetooth RF source").
+//
+// The Wi-Fi receiver sees the weak backscattered frame *plus* the strong
+// unmodulated Bluetooth tone offset by -shift. A small shift leaves the
+// tone inside (or at the skirt of) the 22 MHz Wi-Fi channel where even the
+// receiver's channel-select filter cannot remove it; pushing the shift past
+// the channel edge buys tens of dB of rejection.
+#include <cstdio>
+
+#include "backscatter/wifi_synth.h"
+#include "bench_util.h"
+#include "channel/awgn.h"
+#include "dsp/fir.h"
+#include "dsp/mixer.h"
+#include "dsp/units.h"
+#include "wifi/dsss_rx.h"
+
+int main() {
+  using namespace itb;
+
+  bench::header("Ablation.shift",
+                "Wi-Fi decode success vs backscatter shift with the BLE tone "
+                "40 dB above the backscattered signal",
+                "shifts below ~16 MHz leave the tone inside the 22 MHz channel "
+                "and kill decoding; 35.75 MHz rejects it");
+
+  const phy::Bytes psdu(31, 0xC3);
+  dsp::Xoshiro256 rng(358);
+
+  std::printf("shift_mhz,tone_in_band_db,decoded\n");
+  for (const double shift_mhz : {6.0, 11.0, 16.0, 22.0, 28.0, 35.75}) {
+    backscatter::WifiSynthConfig cfg;
+    cfg.rate = wifi::DsssRate::k2Mbps;
+    cfg.shift_hz = shift_mhz * 1e6;
+    cfg.sample_rate_hz = 143e6;
+    const auto synth = backscatter::synthesize_wifi(psdu, cfg);
+
+    // Receiver-side composite: backscatter signal + BLE tone at 40 dB more
+    // power (the direct path dwarfs the reflected one).
+    const double tone_amp = dsp::db_to_amplitude(40.0);
+    dsp::CVec composite = synth.waveform;
+    dsp::Nco tone(0.0, cfg.sample_rate_hz);  // tone sits at the BLE carrier
+    for (auto& v : composite) v += tone_amp * tone.next();
+
+    // Down-convert to the Wi-Fi channel centre and apply the receiver's
+    // 22 MHz channel-select filter.
+    dsp::CVec shifted =
+        channel::apply_cfo(composite, -cfg.shift_hz, cfg.sample_rate_hz);
+    const dsp::RVec lpf = dsp::design_lowpass(127, 11e6 / 143e6);
+    const dsp::CVec filtered = dsp::filter_same(shifted, lpf);
+
+    // Residual tone power inside the channel, relative to the signal.
+    // (The tone now sits at -shift; measure total in-band power vs clean.)
+    dsp::CVec clean =
+        channel::apply_cfo(synth.waveform, -cfg.shift_hz, cfg.sample_rate_hz);
+    const dsp::CVec clean_f = dsp::filter_same(clean, lpf);
+    const double tone_in_band = 10.0 * std::log10(std::max(
+        dsp::mean_power(filtered) / std::max(dsp::mean_power(clean_f), 1e-30) -
+            1.0,
+        1e-10));
+
+    // Chip matched filter + decimate, then decode.
+    dsp::CVec chips(filtered.size() / 13);
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+      dsp::Complex acc{0, 0};
+      for (std::size_t k = 0; k < 13; ++k) acc += filtered[i * 13 + k];
+      chips[i] = acc / 13.0;
+    }
+    const auto noisy = channel::add_noise_snr(chips, 30.0, rng);
+    const wifi::DsssReceiver rx;
+    const auto r = rx.receive(noisy);
+    const bool ok = r.has_value() && r->header_ok && r->psdu == psdu;
+
+    std::printf("%.2f,%.1f,%s\n", shift_mhz, tone_in_band, ok ? "yes" : "no");
+  }
+  bench::note(
+      "the 143 MHz clocking makes 35.75 MHz exactly 1/4 of the PLL clock, so "
+      "the four phases are glitch-free (paper §3) — and the tone lands "
+      "comfortably outside the 22 MHz channel");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 6 — Single-sideband vs double-sideband backscatter spectrum.
+//
+// The tag backscatters a 2 Mbps 802.11b frame at a +22 MHz shift from the
+// single tone. Prior (double-sideband) modulation shows a mirror copy at
+// -22 MHz; the paper's single-sideband design suppresses it.
+//
+// Also prints the ablation the DESIGN.md calls out: ideal (IC) switch states
+// vs. the FPGA prototype's discrete loads (3 pF / open / 1 pF / 2 nH).
+#include <cstdio>
+
+#include "backscatter/wifi_synth.h"
+#include "bench_util.h"
+#include "dsp/spectrum.h"
+
+int main() {
+  using namespace itb;
+
+  bench::header(
+      "Fig.6", "SSB vs DSB spectrum of 2 Mbps backscattered Wi-Fi, shift +22 MHz",
+      "DSB shows a mirror copy at -22 MHz within ~1 dB of the wanted sideband; "
+      "SSB suppresses the mirror by >15 dB");
+
+  backscatter::WifiSynthConfig cfg;
+  cfg.rate = wifi::DsssRate::k2Mbps;
+  cfg.shift_hz = 22e6;
+  cfg.sample_rate_hz = 176e6;  // 8 samples per shift period, 16 per chip
+
+  const phy::Bytes psdu(31, 0x5A);
+  const auto ssb = backscatter::synthesize_wifi(psdu, cfg);
+  const auto dsb = backscatter::synthesize_wifi_dsb(psdu, cfg);
+
+  dsp::WelchConfig wcfg;
+  wcfg.segment_size = 1024;
+  wcfg.overlap = 512;
+  dsp::Psd ssb_psd = dsp::welch_psd(ssb.waveform, cfg.sample_rate_hz, wcfg);
+  dsp::Psd dsb_psd = dsp::welch_psd(dsb.waveform, cfg.sample_rate_hz, wcfg);
+  dsp::normalize_peak(ssb_psd);
+  dsp::normalize_peak(dsb_psd);
+
+  std::printf("freq_mhz,ssb_db,dsb_db\n");
+  for (std::size_t i = 0; i < ssb_psd.freq_hz.size(); i += 4) {
+    const double f = ssb_psd.freq_hz[i] / 1e6;
+    if (f < -30.0 || f > 30.0) continue;
+    std::printf("%.2f,%.2f,%.2f\n", f, ssb_psd.power_db[i], dsb_psd.power_db[i]);
+  }
+
+  const double ssb_rej = dsp::sideband_rejection_db(ssb_psd, 11e6, 33e6, -33e6, -11e6);
+  const double dsb_rej = dsp::sideband_rejection_db(dsb_psd, 11e6, 33e6, -33e6, -11e6);
+  std::printf("# measured: SSB image rejection %.1f dB, DSB %.1f dB\n", ssb_rej,
+              dsb_rej);
+
+  // Ablation: FPGA discrete loads vs ideal IC states.
+  backscatter::WifiSynthConfig fpga = cfg;
+  fpga.network = backscatter::paper_network();
+  const auto fpga_ssb = backscatter::synthesize_wifi(psdu, fpga);
+  dsp::Psd fpga_psd = dsp::welch_psd(fpga_ssb.waveform, cfg.sample_rate_hz, wcfg);
+  const double fpga_rej =
+      dsp::sideband_rejection_db(fpga_psd, 11e6, 33e6, -33e6, -11e6);
+  std::printf(
+      "# ablation: image rejection with ideal IC states %.1f dB vs FPGA "
+      "discrete loads %.1f dB\n",
+      ssb_rej, fpga_rej);
+  return 0;
+}

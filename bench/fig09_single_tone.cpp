@@ -1,0 +1,69 @@
+// Fig. 9 — Creating single-tone transmissions on commodity Bluetooth
+// devices (TI CC2650, Galaxy S5, Moto360 2nd gen).
+//
+// For each device profile we modulate (a) an advertisement with random
+// application data and (b) the crafted single-tone payload from §2.2, apply
+// the device's analog impairments, and report the payload-section spectra.
+#include <cstdio>
+
+#include "ble/device_profile.h"
+#include "ble/gfsk.h"
+#include "ble/single_tone.h"
+#include "bench_util.h"
+#include "dsp/spectrum.h"
+
+int main() {
+  using namespace itb;
+
+  bench::header("Fig.9",
+                "random BLE vs interscatter single-tone spectra on three devices",
+                "random data spreads ~1 MHz wide; crafted payload collapses to a "
+                "single tone at +250 kHz on every device");
+
+  ble::GfskModulator mod;
+  const double fs = mod.config().sample_rate_hz;
+  dsp::Xoshiro256 rng(2016);
+
+  const auto payload_window = [&](const ble::AdvPacket& pkt) {
+    const auto all = mod.modulate(pkt.air_bits);
+    const std::size_t sps = mod.samples_per_symbol();
+    return dsp::CVec(all.begin() + pkt.payload_start_bit * sps,
+                     all.begin() + pkt.payload_end_bit * sps);
+  };
+
+  for (const auto& profile :
+       {ble::ti_cc2650(), ble::galaxy_s5(), ble::moto360()}) {
+    // Random payload packet.
+    ble::AdvPacketConfig rnd;
+    for (int i = 0; i < 31; ++i) {
+      rnd.payload.push_back(static_cast<std::uint8_t>(rng.uniform_int(256)));
+    }
+    const auto rnd_pkt = ble::build_adv_packet(rnd, 38);
+
+    // Single-tone packet.
+    ble::SingleToneSpec spec;
+    spec.channel_index = 38;
+    const auto tone = ble::make_single_tone_packet(spec);
+
+    const auto impaired = [&](const ble::AdvPacket& pkt) {
+      return ble::apply_impairments(payload_window(pkt), profile, fs, rng);
+    };
+
+    const auto rnd_psd = dsp::welch_psd(impaired(rnd_pkt), fs);
+    const auto tone_psd = dsp::welch_psd(impaired(tone.packet), fs);
+
+    std::printf("device,%s\n", profile.name.c_str());
+    std::printf(
+        "  random:  occupied_bw_khz=%.0f  peak_khz=%+.0f\n",
+        dsp::occupied_bandwidth_hz(rnd_psd, 0.99) / 1e3,
+        dsp::peak_frequency_hz(rnd_psd) / 1e3);
+    std::printf(
+        "  tone:    occupied_bw_khz=%.0f  peak_khz=%+.0f  (cfo %+0.0f kHz)\n",
+        dsp::occupied_bandwidth_hz(tone_psd, 0.99) / 1e3,
+        dsp::peak_frequency_hz(tone_psd) / 1e3, profile.cfo_hz / 1e3);
+  }
+  bench::note(
+      "all three devices collapse to a narrow tone near +250 kHz (plus each "
+      "device's CFO), reproducing Fig. 9a-c");
+  return 0;
+}

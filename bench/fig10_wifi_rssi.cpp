@@ -1,0 +1,66 @@
+// Fig. 10 — Wi-Fi RSSI of backscattered 2 Mbps packets vs distance between
+// the tag and the Wi-Fi receiver, for BLE TX powers {0, 4, 10, 20} dBm and
+// tag<->BLE separations of 1 ft (a) and 3 ft (b).
+//
+// Geometry per the paper: the receiver moves perpendicular from the midpoint
+// of the BLE-transmitter <-> tag segment.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/link.h"
+#include "core/interscatter.h"
+
+int main() {
+  using namespace itb;
+  using channel::kFeetToMeters;
+
+  bench::header(
+      "Fig.10",
+      "Wi-Fi RSSI vs tag-receiver distance at four BLE TX powers, 1 ft / 3 ft",
+      "20 dBm reaches ~90 ft; RSSI falls with distance and with larger "
+      "BLE-tag separation; 0 dBm usable to ~10-30 ft");
+
+  const std::vector<double> powers_dbm = {0.0, 4.0, 10.0, 20.0};
+  const std::vector<double> distances_ft = {1,  5,  10, 20, 30, 40,
+                                            50, 60, 70, 80, 90};
+
+  for (const double sep_ft : {1.0, 3.0}) {
+    std::printf("subfigure,%s\n", sep_ft == 1.0 ? "a (1 ft)" : "b (3 ft)");
+    std::printf("distance_ft");
+    for (double p : powers_dbm) std::printf(",rssi_dbm_%gdBm", p);
+    std::printf("\n");
+
+    for (const double d_ft : distances_ft) {
+      std::printf("%.0f", d_ft);
+      for (const double p : powers_dbm) {
+        core::UplinkScenario s;
+        s.ble_tx_power_dbm = p;
+        s.ble_tag_distance_m = sep_ft * kFeetToMeters;
+        // Perpendicular geometry from the midpoint.
+        const double range_m = channel::perpendicular_range_m(
+            s.ble_tag_distance_m, d_ft * kFeetToMeters);
+        s.tag_rx_distance_m = range_m;
+        const auto b = core::InterscatterSystem(s).budget(31);
+        std::printf(",%.1f", b.rssi_dbm);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Range summary: max distance where PER-usable RSSI (> -85 dBm) holds.
+  bench::note("range at which RSSI stays above -85 dBm (2 Mbps usable):");
+  for (const double p : powers_dbm) {
+    double max_ft = 0.0;
+    for (double d_ft = 1.0; d_ft <= 120.0; d_ft += 1.0) {
+      core::UplinkScenario s;
+      s.ble_tx_power_dbm = p;
+      s.ble_tag_distance_m = 1.0 * kFeetToMeters;
+      s.tag_rx_distance_m = channel::perpendicular_range_m(
+          s.ble_tag_distance_m, d_ft * kFeetToMeters);
+      if (core::InterscatterSystem(s).budget(31).rssi_dbm > -85.0) max_ft = d_ft;
+    }
+    std::printf("#   %2.0f dBm -> %.0f ft\n", p, max_ft);
+  }
+  return 0;
+}

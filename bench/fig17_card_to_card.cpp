@@ -1,0 +1,78 @@
+// Fig. 17 — Card-to-card communication BER vs distance between the two
+// credit-card prototypes.
+//
+// Paper setup: transmit card 3 inches from a 10 dBm TI Bluetooth device,
+// 18-bit payloads at 100 kbps, receiver card's envelope detector; BER
+// usable out to ~30 inches.
+#include <cmath>
+#include <cstdio>
+
+#include "backscatter/detector.h"
+#include "bench_util.h"
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "dsp/units.h"
+
+int main() {
+  using namespace itb;
+  using channel::kInchesToMeters;
+
+  bench::header("Fig.17", "card-to-card BER vs distance",
+                "near-zero BER out to ~30 inches with 10 dBm Bluetooth "
+                "(phone-class), rising steeply beyond");
+
+  // Card A backscatters the BLE tone with OOK at 100 kbps; card B's envelope
+  // detector decodes. Link: BLE -> cardA (3 in) -> cardB (swept).
+  channel::BackscatterLinkConfig link;
+  link.ble_tx_power_dbm = 10.0;
+  link.ble_tag_distance_m = 3.0 * kInchesToMeters;
+  link.tag_antenna = channel::card_antenna();
+  link.rx_antenna = channel::card_antenna();
+  link.rx_bandwidth_hz = 2e6;
+
+  const double fs = 20e6;
+  const std::size_t bit_samples = static_cast<std::size_t>(fs / 100e3);  // 100 kbps
+  dsp::Xoshiro256 rng(17);
+
+  std::printf("distance_in,rx_dbm,ber\n");
+  for (double d_in = 2.0; d_in <= 36.0; d_in += 2.0) {
+    const auto s = channel::backscatter_rssi(link, d_in * kInchesToMeters);
+
+    // Build the OOK waveform at the received amplitude and decode it with
+    // the envelope-detector receiver (ambient-backscatter architecture).
+    const double amp = std::sqrt(dsp::dbm_to_watts(s.rssi_dbm));
+    double errors = 0.0;
+    double total = 0.0;
+    for (int trial = 0; trial < 20; ++trial) {
+      phy::Bits bits(18);
+      for (auto& b : bits) b = rng.bit();
+      dsp::CVec wave;
+      wave.reserve(bits.size() * bit_samples);
+      for (const auto b : bits) {
+        for (std::size_t i = 0; i < bit_samples; ++i) {
+          wave.push_back(b ? dsp::Complex{amp, 0.0} : dsp::Complex{amp * 0.1, 0.0});
+        }
+      }
+      const double noise_w =
+          dsp::dbm_to_watts(channel::thermal_noise_dbm(link.rx_bandwidth_hz, 10.0));
+      const auto noisy = channel::add_noise_variance(wave, noise_w, rng);
+
+      backscatter::PeakDetectorConfig pdc;
+      pdc.sample_rate_hz = fs;
+      // Passive envelope detectors bottom out in the low -50s dBm (ambient-
+      // backscatter class hardware), far above radio sensitivities.
+      pdc.sensitivity_dbm = -54.0;
+      const backscatter::PeakDetector det(pdc);
+      const auto out = det.decode_ook(noisy, bit_samples);
+      for (std::size_t i = 0; i < bits.size() && i < out.size(); ++i) {
+        errors += (out[i] != bits[i]);
+      }
+      total += static_cast<double>(bits.size());
+    }
+    std::printf("%.0f,%.1f,%.4f\n", d_in, s.rssi_dbm, errors / total);
+  }
+  bench::note(
+      "the knee tracks the envelope detector's sensitivity: below it, bits "
+      "vanish into the noise floor, reproducing the paper's ~30 in limit");
+  return 0;
+}

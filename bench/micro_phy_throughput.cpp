@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark) of the PHY processing chains: useful
+// for tracking the simulator's own performance and for the DESIGN.md claim
+// that every experiment runs at waveform level in reasonable time.
+#include <benchmark/benchmark.h>
+
+#include "backscatter/ssb_modulator.h"
+#include "backscatter/wifi_synth.h"
+#include "ble/gfsk.h"
+#include "ble/single_tone.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "wifi/cck.h"
+#include "wifi/convolutional.h"
+#include "wifi/dsss_rx.h"
+#include "wifi/dsss_tx.h"
+#include "wifi/ofdm_rx.h"
+#include "wifi/ofdm_tx.h"
+#include "zigbee/frame.h"
+
+namespace {
+
+using namespace itb;
+
+void BM_Fft1024(benchmark::State& state) {
+  dsp::Xoshiro256 rng(1);
+  dsp::CVec x(1024);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    dsp::CVec y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_BleSingleTonePayload(benchmark::State& state) {
+  for (auto _ : state) {
+    auto payload = ble::single_tone_payload(38, ble::ToneSign::kHigh, 31);
+    benchmark::DoNotOptimize(payload.data());
+  }
+}
+BENCHMARK(BM_BleSingleTonePayload);
+
+void BM_GfskModulatePacket(benchmark::State& state) {
+  ble::SingleToneSpec spec;
+  const auto tone = ble::make_single_tone_packet(spec);
+  ble::GfskModulator mod;
+  for (auto _ : state) {
+    auto s = mod.modulate(tone.packet.air_bits);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tone.packet.air_bits.size()));
+}
+BENCHMARK(BM_GfskModulatePacket);
+
+void BM_DsssTx2Mbps(benchmark::State& state) {
+  wifi::DsssTxConfig cfg;
+  const wifi::DsssTransmitter tx(cfg);
+  const phy::Bytes psdu(31, 0xA5);
+  for (auto _ : state) {
+    auto f = tx.modulate(psdu);
+    benchmark::DoNotOptimize(f.baseband.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 31);
+}
+BENCHMARK(BM_DsssTx2Mbps);
+
+void BM_DsssRx2Mbps(benchmark::State& state) {
+  wifi::DsssTxConfig cfg;
+  const wifi::DsssTransmitter tx(cfg);
+  const auto frame = tx.modulate(phy::Bytes(31, 0xA5));
+  const wifi::DsssReceiver rx;
+  for (auto _ : state) {
+    auto r = rx.receive(frame.baseband);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 31);
+}
+BENCHMARK(BM_DsssRx2Mbps);
+
+void BM_CckModulate11Mbps(benchmark::State& state) {
+  wifi::CckModulator mod(wifi::DsssRate::k11Mbps);
+  dsp::Xoshiro256 rng(2);
+  phy::Bits bits(8 * 256);
+  for (auto& b : bits) b = rng.bit();
+  for (auto _ : state) {
+    auto chips = mod.modulate(bits);
+    benchmark::DoNotOptimize(chips.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits.size()));
+}
+BENCHMARK(BM_CckModulate11Mbps);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  dsp::Xoshiro256 rng(3);
+  phy::Bits data(864);
+  for (auto& b : data) b = rng.bit();
+  const phy::Bits coded = wifi::convolutional_encode(data);
+  for (auto _ : state) {
+    auto out = wifi::viterbi_decode(coded, data.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ViterbiDecode);
+
+void BM_OfdmTx36Mbps(benchmark::State& state) {
+  wifi::OfdmTxConfig cfg;
+  cfg.rate = wifi::OfdmRate::k36;
+  const wifi::OfdmTransmitter tx(cfg);
+  const phy::Bytes psdu(100, 0x3C);
+  for (auto _ : state) {
+    auto t = tx.transmit(psdu);
+    benchmark::DoNotOptimize(t.baseband.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_OfdmTx36Mbps);
+
+void BM_OfdmRx36Mbps(benchmark::State& state) {
+  wifi::OfdmTxConfig cfg;
+  cfg.rate = wifi::OfdmRate::k36;
+  const wifi::OfdmTransmitter tx(cfg);
+  const auto t = tx.transmit(phy::Bytes(100, 0x3C));
+  const wifi::OfdmReceiver rx;
+  for (auto _ : state) {
+    auto r = rx.receive(t.baseband);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_OfdmRx36Mbps);
+
+void BM_SsbModulateCarrier(benchmark::State& state) {
+  backscatter::SsbConfig cfg;
+  const backscatter::SsbModulator mod(cfg);
+  for (auto _ : state) {
+    auto w = mod.states_to_waveform(mod.carrier_states(14300));
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 14300);
+}
+BENCHMARK(BM_SsbModulateCarrier);
+
+void BM_SynthesizeWifiFrame(benchmark::State& state) {
+  backscatter::WifiSynthConfig cfg;
+  const phy::Bytes psdu(31, 0x5A);
+  for (auto _ : state) {
+    auto s = backscatter::synthesize_wifi(psdu, cfg);
+    benchmark::DoNotOptimize(s.waveform.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 31);
+}
+BENCHMARK(BM_SynthesizeWifiFrame);
+
+void BM_ZigbeeTransmit(benchmark::State& state) {
+  const phy::Bytes payload(20, 0x42);
+  for (auto _ : state) {
+    auto t = zigbee::zigbee_transmit(payload);
+    benchmark::DoNotOptimize(t.baseband.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_ZigbeeTransmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

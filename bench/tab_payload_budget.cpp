@@ -1,0 +1,56 @@
+// §2.3.3 table — Wi-Fi payload bytes that fit inside one BLE advertising
+// payload window: 38 / 104 / 209 bytes at 2 / 5.5 / 11 Mbps; a 1 Mbps frame
+// does not fit. Extension (§7): BLE data packets (up to 2 ms) enable 1 Mbps
+// and larger payloads.
+#include <cstdio>
+
+#include "ble/packet.h"
+#include "ble/single_tone.h"
+#include "backscatter/tag.h"
+#include "bench_util.h"
+#include "wifi/rates.h"
+
+int main() {
+  using namespace itb;
+
+  bench::header("Tab.payload", "Wi-Fi payload fit per BLE advertising packet",
+                "38 / 104 / 209 bytes at 2 / 5.5 / 11 Mbps; 1 Mbps does not fit");
+
+  std::printf("rate,paper_budget_bytes,adv_window_us\n");
+  for (const auto rate : {wifi::DsssRate::k1Mbps, wifi::DsssRate::k2Mbps,
+                          wifi::DsssRate::k5_5Mbps, wifi::DsssRate::k11Mbps}) {
+    std::printf("%s,%zu,%.0f\n", std::string(wifi::rate_name(rate)).c_str(),
+                wifi::paper_payload_bytes(rate), 248.0);
+  }
+
+  // Verify by synthesis: the tag accepts a paper-budget payload and rejects
+  // one byte more... (guard interval consumes a little of the window, so
+  // the verified fit sits within a few bytes of the paper's arithmetic).
+  ble::SingleToneSpec spec;
+  spec.channel_index = 38;
+  const auto tone = ble::make_single_tone_packet(spec);
+  bench::note("synthesis check against the real tag state machine:");
+  for (const auto rate : {wifi::DsssRate::k2Mbps, wifi::DsssRate::k5_5Mbps,
+                          wifi::DsssRate::k11Mbps}) {
+    backscatter::TagConfig cfg;
+    cfg.wifi.rate = rate;
+    const backscatter::InterscatterTag tag(cfg);
+    std::size_t best = 0;
+    for (std::size_t n = 1; n <= 240; ++n) {
+      const auto plan = tag.plan(tone.packet, phy::Bytes(n, 0xA5));
+      if (plan.has_value() && plan->fits_window) best = n;
+    }
+    std::printf("#   %-8s max PSDU that fits the %0.f us AdvData window: %zu bytes\n",
+                std::string(wifi::rate_name(rate)).c_str(),
+                tone.packet.payload_window_us(), best);
+  }
+
+  bench::note("future-work extension (paper §7): BLE data packets, 2 ms window:");
+  for (const auto rate : {wifi::DsssRate::k1Mbps, wifi::DsssRate::k2Mbps,
+                          wifi::DsssRate::k11Mbps}) {
+    std::printf("#   %-8s -> %zu bytes\n",
+                std::string(wifi::rate_name(rate)).c_str(),
+                wifi::paper_payload_bytes(rate, 2000.0));
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Card-to-card communication (paper §5.3 / Fig. 2c).
+//
+// Two credit-card form-factor devices exchange a payment handshake by
+// backscattering the single tone produced by a nearby smartphone's
+// Bluetooth radio — ambient-backscatter style, but with a commodity phone
+// instead of a TV tower.
+#include <cmath>
+#include <cstdio>
+
+#include "backscatter/detector.h"
+#include "ble/single_tone.h"
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "dsp/units.h"
+
+namespace {
+
+using namespace itb;
+
+/// 18-bit payment message (paper's payload size): 10-bit amount + 8-bit id.
+phy::Bits payment_message(unsigned amount_cents, std::uint8_t payee) {
+  phy::Bits out = phy::uint_to_bits_lsb_first(amount_cents & 0x3FF, 10);
+  const phy::Bits id = phy::uint_to_bits_lsb_first(payee, 8);
+  out.insert(out.end(), id.begin(), id.end());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== card-to-card payment over phone Bluetooth ===\n\n");
+
+  // The phone advertises single-tone packets; card A modulates (OOK at
+  // 100 kbps), card B's envelope detector decodes.
+  ble::SingleToneSpec spec;
+  spec.channel_index = 38;
+  const auto tone = ble::make_single_tone_packet(spec);
+  std::printf("phone provides a %.0f us tone per advertisement (every 20 ms)\n",
+              tone.tone_duration_us());
+
+  channel::BackscatterLinkConfig link;
+  link.ble_tx_power_dbm = 10.0;  // phone-class
+  link.ble_tag_distance_m = 3.0 * channel::kInchesToMeters;
+  link.tag_antenna = channel::card_antenna();
+  link.rx_antenna = channel::card_antenna();
+  link.rx_bandwidth_hz = 2e6;
+
+  const double fs = 20e6;
+  const std::size_t bit_samples = static_cast<std::size_t>(fs / 100e3);
+  const phy::Bits msg = payment_message(/*$4.20*/ 420, /*payee*/ 0x5C);
+  // 18 bits at 100 kbps = 180 us: fits inside one 248 us tone window.
+  std::printf("18-bit message occupies %.0f us of the %.0f us window\n\n",
+              msg.size() * 10.0, tone.tone_duration_us());
+
+  dsp::Xoshiro256 rng(99);
+  for (const double d_in : {6.0, 15.0, 24.0, 30.0}) {
+    const auto s =
+        channel::backscatter_rssi(link, d_in * channel::kInchesToMeters);
+    const double amp = std::sqrt(dsp::dbm_to_watts(s.rssi_dbm));
+
+    dsp::CVec wave;
+    for (const auto b : msg) {
+      for (std::size_t i = 0; i < bit_samples; ++i) {
+        wave.push_back(b ? dsp::Complex{amp, 0.0}
+                         : dsp::Complex{amp * 0.1, 0.0});
+      }
+    }
+    const double noise_w = dsp::dbm_to_watts(
+        channel::thermal_noise_dbm(link.rx_bandwidth_hz, 10.0));
+    const auto noisy = channel::add_noise_variance(wave, noise_w, rng);
+
+    backscatter::PeakDetectorConfig pdc;
+    pdc.sample_rate_hz = fs;
+    pdc.sensitivity_dbm = -54.0;
+    const backscatter::PeakDetector det(pdc);
+    const auto out = det.decode_ook(noisy, bit_samples);
+
+    std::size_t errors = msg.size();
+    if (out.size() >= msg.size()) {
+      errors = 0;
+      for (std::size_t i = 0; i < msg.size(); ++i) errors += out[i] != msg[i];
+    }
+    std::printf("  cards %4.0f in apart: rx %6.1f dBm -> %s (%zu bit errors)\n",
+                d_in, s.rssi_dbm,
+                errors == 0 ? "payment verified" : "handshake failed", errors);
+  }
+  return 0;
+}

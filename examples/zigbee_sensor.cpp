@@ -1,0 +1,64 @@
+// ZigBee sensor bridge (paper §4.5).
+//
+// A backscatter sensor node reuses a phone's Bluetooth advertisements to
+// emit real 802.15.4 frames on ZigBee channel 14, which an off-the-shelf
+// ZigBee hub (TI CC2531 class) receives — no ZigBee radio on the sensor.
+#include <cstdio>
+
+#include "backscatter/zigbee_synth.h"
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "zigbee/frame.h"
+
+int main() {
+  using namespace itb;
+
+  std::printf("=== battery-free ZigBee sensor via BLE backscatter ===\n\n");
+
+  // Sensor report: temperature + humidity + node id.
+  const phy::Bytes report = {0x10,        // node id
+                             0x01, 0x2C,  // temperature x100 (30.0 C)
+                             0x00, 0x37,  // humidity x1 (55 %)
+                             0xAB, 0xCD}; // sequence/check
+
+  backscatter::ZigbeeSynthConfig cfg;  // BLE 38 -> ZigBee ch 14 (-6 MHz)
+  const auto synth = backscatter::synthesize_zigbee(report, cfg);
+  std::printf("synthesized 802.15.4 frame: %zu-byte PPDU, %.0f us on air, "
+              "%zu switch transitions\n",
+              synth.ppdu.size(), synth.duration_us, synth.state_transitions);
+
+  // Hub-side decode after downconversion (as in the backscatter tests).
+  dsp::CVec shifted =
+      channel::apply_cfo(synth.waveform, -cfg.shift_hz, cfg.sample_rate_hz);
+  dsp::CVec rx_samples(shifted.size() / 12);
+  for (std::size_t i = 0; i < rx_samples.size(); ++i) {
+    dsp::Complex acc{0, 0};
+    for (std::size_t k = 0; k < 12; ++k) acc += shifted[i * 12 + k];
+    rx_samples[i] = acc / 12.0;
+  }
+  const auto decoded = zigbee::zigbee_receive(rx_samples);
+  if (decoded && decoded->fcs_ok) {
+    const auto& p = decoded->payload;
+    std::printf("hub decoded: node %u, temperature %.1f C, humidity %u %%\n",
+                p[0], (p[1] << 8 | p[2]) / 10.0, p[3] << 8 | p[4]);
+  } else {
+    std::printf("hub failed to decode the frame\n");
+    return 1;
+  }
+
+  // Link budget at the paper's Fig. 14 geometry.
+  channel::BackscatterLinkConfig link;
+  link.ble_tx_power_dbm = 0.0;  // CC2650 default
+  link.ble_tag_distance_m = 2.0 * 0.3048;
+  link.rx_bandwidth_hz = 2e6;
+  link.rx_noise_figure_db = 8.0;
+  std::printf("\nRSSI at the hub (CC2650 at 2 ft from the sensor):\n");
+  for (const double d_ft : {3.0, 9.0, 15.0}) {
+    const auto s = channel::backscatter_rssi(link, d_ft * 0.3048);
+    std::printf("  hub at %4.0f ft: %6.1f dBm (ZigBee sensitivity ~ -97 dBm)\n",
+                d_ft, s.rssi_dbm);
+  }
+  std::printf("\na ZigBee radio would draw tens of mW to send this report; "
+              "the tag spends tens of uW.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "backscatter/ssb_modulator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "dsp/units.h"
+
+namespace itb::backscatter {
+
+namespace {
+
+/// Square wave value (+1/-1) of frequency f at continuous time t, phase
+/// offset in fractions of a period. Edges land on exact sample instants when
+/// sample_rate is a multiple of 4f (the 143 MHz design); otherwise the
+/// nearest-sample quantization models real switching jitter.
+int square_wave(Real t, Real freq, Real phase_cycles) {
+  const Real cycles = t * freq + phase_cycles;
+  const Real frac = cycles - std::floor(cycles);
+  return frac < 0.5 ? 1 : -1;
+}
+
+}  // namespace
+
+SsbModulator::SsbModulator(const SsbConfig& cfg) : cfg_(cfg) {
+  // Quadrant encoding: bit0 = (I > 0), bit1 = (Q > 0).
+  // (+,+) -> e^{j pi/4} region -> state 0 of the canonical order,
+  // (-,+) -> state 1, (-,-) -> state 2, (+,-) -> state 3.
+  quadrant_to_state_ = {/*I+Q+*/ 0, /*I-Q+*/ 1, /*I-Q-*/ 2, /*I+Q-*/ 3};
+}
+
+StateSequence SsbModulator::carrier_states(std::size_t n) const {
+  StateSequence out(n);
+  const Real fs = cfg_.sample_rate_hz;
+  const Real f = std::abs(cfg_.shift_hz);
+  const bool up = cfg_.shift_hz >= 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Real t = static_cast<Real>(k) / fs;
+    const int i = square_wave(t, f, 0.25);   // cos-like: +1 at t=0
+    // sin-like: delayed quarter period; for a downshift the Q branch leads
+    // instead of lags, conjugating the synthesized exponential.
+    const int q = square_wave(t, f, up ? 0.0 : 0.5);
+    unsigned quadrant;
+    if (i > 0 && q > 0) {
+      quadrant = 0;
+    } else if (i < 0 && q > 0) {
+      quadrant = 1;
+    } else if (i < 0 && q < 0) {
+      quadrant = 2;
+    } else {
+      quadrant = 3;
+    }
+    out[k] = quadrant_to_state_[quadrant];
+  }
+  return out;
+}
+
+StateSequence SsbModulator::modulate_states(
+    const std::vector<std::uint8_t>& rotation_per_sample) const {
+  StateSequence carrier = carrier_states(rotation_per_sample.size());
+  for (std::size_t k = 0; k < carrier.size(); ++k) {
+    // Multiplying by j^r advances the state index by r (states are 90 deg
+    // apart, ordered counter-clockwise).
+    carrier[k] = static_cast<std::uint8_t>((carrier[k] + rotation_per_sample[k]) % 4);
+  }
+  return carrier;
+}
+
+CVec SsbModulator::states_to_waveform(const StateSequence& states) const {
+  const auto g = cfg_.network.gammas();
+  CVec out(states.size());
+  for (std::size_t k = 0; k < states.size(); ++k) out[k] = g[states[k]];
+  return out;
+}
+
+CVec SsbModulator::modulate(
+    const std::vector<std::uint8_t>& rotation_per_sample) const {
+  return states_to_waveform(modulate_states(rotation_per_sample));
+}
+
+Real SsbModulator::conversion_loss_db(std::size_t probe_samples) const {
+  const CVec wave = states_to_waveform(carrier_states(probe_samples));
+  itb::dsp::WelchConfig wcfg;
+  wcfg.segment_size = 4096;
+  wcfg.overlap = 2048;
+  const itb::dsp::Psd psd =
+      itb::dsp::welch_psd(wave, cfg_.sample_rate_hz, wcfg);
+  const Real half_bin = 2.0 * psd.bin_hz;
+  const Real fund = itb::dsp::band_power(psd, cfg_.shift_hz - half_bin,
+                                         cfg_.shift_hz + half_bin);
+  // Incident tone power is 1 (unit amplitude): loss = -10 log10(P_fund).
+  return -10.0 * std::log10(std::max(fund, 1e-30));
+}
+
+DsbModulator::DsbModulator(const SsbConfig& cfg) : cfg_(cfg) {}
+
+StateSequence DsbModulator::carrier_states(std::size_t n) const {
+  StateSequence out(n);
+  const Real fs = cfg_.sample_rate_hz;
+  const Real f = std::abs(cfg_.shift_hz);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Real t = static_cast<Real>(k) / fs;
+    // Two states: pick the pair with maximal separation (0 and 2 are
+    // diametrically opposite in the canonical order).
+    out[k] = square_wave(t, f, 0.25) > 0 ? 0 : 2;
+  }
+  return out;
+}
+
+CVec DsbModulator::states_to_waveform(const StateSequence& states) const {
+  const auto g = cfg_.network.gammas();
+  CVec out(states.size());
+  for (std::size_t k = 0; k < states.size(); ++k) out[k] = g[states[k]];
+  return out;
+}
+
+CVec DsbModulator::modulate(
+    const std::vector<std::uint8_t>& bpsk_flip_per_sample) const {
+  StateSequence states = carrier_states(bpsk_flip_per_sample.size());
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    if (bpsk_flip_per_sample[k] & 1) {
+      states[k] = static_cast<std::uint8_t>((states[k] + 2) % 4);
+    }
+  }
+  return states_to_waveform(states);
+}
+
+std::vector<std::uint8_t> expand_rotations(const std::vector<std::uint8_t>& per_chip,
+                                           std::size_t samples_per_chip) {
+  std::vector<std::uint8_t> out(per_chip.size() * samples_per_chip);
+  for (std::size_t i = 0; i < per_chip.size(); ++i) {
+    for (std::size_t k = 0; k < samples_per_chip; ++k) {
+      out[i * samples_per_chip + k] = per_chip[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace itb::backscatter

@@ -1,0 +1,49 @@
+// Maps an 802.11b chip stream onto the tag's 4-state switch (paper §2.3.2).
+//
+// The DSSS transmitter produces unit-magnitude chips on the QPSK grid
+// {1, j, -1, -j} (up to a pi/4 rotation the differential receiver ignores).
+// Each chip's quadrant becomes a rotation index 0..3 that the SSB modulator
+// adds to its synthesized-carrier state, so the reflected signal is the
+// Wi-Fi baseband times e^{j 2 pi df t} — a standards-decodable 802.11b
+// packet centred df away from the BLE tone.
+#pragma once
+
+#include "backscatter/ssb_modulator.h"
+#include "wifi/dsss_tx.h"
+
+namespace itb::backscatter {
+
+struct WifiSynthConfig {
+  itb::wifi::DsssRate rate = itb::wifi::DsssRate::k2Mbps;
+  Real shift_hz = 35.75e6;
+  /// 143 Msps = 13 samples/chip at 11 Mchip/s, 4 samples per shift period.
+  Real sample_rate_hz = 143e6;
+  /// The IC's switch states are re-tuned to near-ideal QPSK points;
+  /// substitute paper_network() to model the FPGA prototype's discrete
+  /// 3 pF / open / 1 pF / 2 nH loads (ablation in bench/fig06).
+  ImpedanceNetwork network = ideal_network();
+  bool short_tag_preamble = true;  ///< fit inside the BLE payload window
+};
+
+struct WifiSynthResult {
+  CVec waveform;                 ///< reflected baseband (relative to the tone)
+  StateSequence states;          ///< switch-state sequence (for power model)
+  itb::wifi::DsssFrame frame;    ///< the underlying 802.11b frame
+  double duration_us = 0.0;
+  std::size_t state_transitions = 0;  ///< switching activity (power model)
+};
+
+/// Synthesizes a backscattered 802.11b frame for a PSDU.
+WifiSynthResult synthesize_wifi(const itb::phy::Bytes& psdu,
+                                const WifiSynthConfig& cfg = {});
+
+/// Double-sideband variant (ablation/comparison): the same frame modulated
+/// with a 2-state switch, producing a mirror image on the far side.
+WifiSynthResult synthesize_wifi_dsb(const itb::phy::Bytes& psdu,
+                                    const WifiSynthConfig& cfg = {});
+
+/// Quantizes a unit-magnitude chip to its QPSK quadrant rotation (0..3)
+/// relative to e^{j pi/4}: rotation r means chip ~ e^{j(pi/4 + r pi/2)}.
+std::uint8_t chip_to_rotation(itb::dsp::Complex chip);
+
+}  // namespace itb::backscatter

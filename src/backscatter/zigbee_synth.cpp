@@ -1,0 +1,84 @@
+#include "backscatter/zigbee_synth.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "backscatter/wifi_synth.h"
+#include "zigbee/oqpsk.h"
+
+namespace itb::backscatter {
+
+ZigbeeSynthResult synthesize_zigbee(const itb::phy::Bytes& mac_payload,
+                                    const ZigbeeSynthConfig& cfg) {
+  ZigbeeSynthResult out;
+  out.ppdu = itb::zigbee::build_ppdu(mac_payload);
+
+  // Chip stream of the PPDU.
+  itb::phy::Bits chips;
+  for (std::uint8_t b : out.ppdu) {
+    for (unsigned nib = 0; nib < 2; ++nib) {
+      const unsigned sym = nib == 0 ? (b & 0x0F) : (b >> 4);
+      const itb::phy::Bits sc = itb::zigbee::symbol_chips(sym);
+      chips.insert(chips.end(), sc.begin(), sc.end());
+    }
+  }
+
+  // O-QPSK as quadrant rotations: the (I, Q) chip pair selects the quadrant
+  // for one chip period each; the half-chip offset is approximated by
+  // updating the quadrant at every half-period boundary (I change, then Q
+  // change), which is exactly MSK-style phase stepping on the switch.
+  assert(chips.size() % 2 == 0);
+  const Real chip_period_samples = cfg.sample_rate_hz / itb::zigbee::kChipRateHz;
+  const auto half = static_cast<std::size_t>(std::lround(chip_period_samples));
+  // Each aggregate chip lasts `half` samples; I and Q each span two chips.
+  std::vector<std::uint8_t> per_sample;
+  per_sample.reserve(chips.size() * half);
+  int i_val = 1;
+  int q_val = 1;
+  for (std::size_t k = 0; k < chips.size(); ++k) {
+    if (k % 2 == 0) {
+      i_val = chips[k] ? 1 : -1;
+    } else {
+      q_val = chips[k] ? 1 : -1;
+    }
+    unsigned quadrant;
+    if (i_val > 0 && q_val > 0) {
+      quadrant = 0;
+    } else if (i_val < 0 && q_val > 0) {
+      quadrant = 1;
+    } else if (i_val < 0 && q_val < 0) {
+      quadrant = 2;
+    } else {
+      quadrant = 3;
+    }
+    for (std::size_t s = 0; s < half; ++s) {
+      per_sample.push_back(static_cast<std::uint8_t>(quadrant));
+    }
+  }
+  // O-QPSK's offset Q branch extends half a chip past the last chip
+  // boundary: hold the final state one extra chip period so the receiver
+  // can sample the last Q chip at its centre.
+  if (!per_sample.empty()) {
+    const std::uint8_t last = per_sample.back();
+    per_sample.insert(per_sample.end(), half, last);
+  }
+
+  SsbConfig scfg;
+  scfg.shift_hz = cfg.shift_hz;
+  scfg.sample_rate_hz = cfg.sample_rate_hz;
+  scfg.network = cfg.network;
+  const SsbModulator mod(scfg);
+
+  out.states = mod.modulate_states(per_sample);
+  out.waveform = mod.states_to_waveform(out.states);
+  out.duration_us =
+      static_cast<double>(chips.size()) / (itb::zigbee::kChipRateHz / 1e6);
+  std::size_t transitions = 0;
+  for (std::size_t i = 1; i < out.states.size(); ++i) {
+    transitions += (out.states[i] != out.states[i - 1]);
+  }
+  out.state_transitions = transitions;
+  return out;
+}
+
+}  // namespace itb::backscatter

@@ -1,0 +1,31 @@
+// ZigBee synthesis on the tag (paper §4.5): the same 4-state SSB switch
+// drives an O-QPSK chip stream instead of DSSS/CCK. O-QPSK with half-sine
+// shaping is MSK-like; the tag approximates it chip-by-chip on the QPSK
+// grid, which commodity 802.15.4 receivers despread correctly thanks to the
+// 32-chip PN redundancy.
+#pragma once
+
+#include "backscatter/ssb_modulator.h"
+#include "zigbee/frame.h"
+
+namespace itb::backscatter {
+
+struct ZigbeeSynthConfig {
+  Real shift_hz = -6e6;        ///< BLE 38 (2426) -> ZigBee ch 14 (2420)
+  Real sample_rate_hz = 96e6;  ///< 48 samples per 2 MHz chip, 4 per 24 MHz
+  ImpedanceNetwork network = ideal_network();
+};
+
+struct ZigbeeSynthResult {
+  CVec waveform;
+  StateSequence states;
+  itb::phy::Bytes ppdu;
+  double duration_us = 0.0;
+  std::size_t state_transitions = 0;
+};
+
+/// Synthesizes a backscattered 802.15.4 frame for a MAC payload.
+ZigbeeSynthResult synthesize_zigbee(const itb::phy::Bytes& mac_payload,
+                                    const ZigbeeSynthConfig& cfg = {});
+
+}  // namespace itb::backscatter

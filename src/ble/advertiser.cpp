@@ -1,0 +1,26 @@
+#include "ble/advertiser.h"
+
+namespace itb::ble {
+
+std::vector<AdvSlot> advertising_schedule(const AdvertiserTiming& timing,
+                                          double packet_duration_us,
+                                          std::size_t num_events) {
+  std::vector<AdvSlot> out;
+  out.reserve(num_events * timing.channels.size());
+  for (std::size_t ev = 0; ev < num_events; ++ev) {
+    const double event_start = static_cast<double>(ev) * timing.interval_ms * 1e3;
+    double t = event_start;
+    for (unsigned ch : timing.channels) {
+      out.push_back({ch, t, packet_duration_us});
+      t += packet_duration_us + timing.channel_gap_us;
+    }
+  }
+  return out;
+}
+
+double reservation_window_us(const AdvertiserTiming& timing,
+                             double packet_duration_us) {
+  return 2.0 * timing.channel_gap_us + packet_duration_us;
+}
+
+}  // namespace itb::ble

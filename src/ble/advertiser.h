@@ -1,0 +1,40 @@
+// Advertising-event timing model (paper §2.3.3 optimization 2).
+//
+// A BLE advertiser sends the same PDU on channels 37, 38, 39 back-to-back,
+// separated by a chip-specific gap (ΔT ≈ 400 µs on TI chipsets), repeating
+// every advertising interval (20 ms minimum for non-connectable in 4.x).
+// The tag's RTS/CTS imitation hinges on this deterministic schedule.
+#pragma once
+
+#include <vector>
+
+#include "ble/packet.h"
+
+namespace itb::ble {
+
+struct AdvertiserTiming {
+  double interval_ms = 20.0;     ///< advertising interval
+  double channel_gap_us = 400.0; ///< ΔT between channel transmissions
+  std::vector<unsigned> channels = {37, 38, 39};
+};
+
+/// One on-air transmission within an advertising event.
+struct AdvSlot {
+  unsigned channel_index;
+  double start_us;     ///< relative to the event start
+  double duration_us;
+};
+
+/// Expands the timing model into per-channel slots for `num_events` events.
+/// Slot times are relative to t = 0 at the first event.
+std::vector<AdvSlot> advertising_schedule(const AdvertiserTiming& timing,
+                                          double packet_duration_us,
+                                          std::size_t num_events);
+
+/// Time window (µs, relative to the channel-37 packet start) that a tag can
+/// reserve with an RTS on channel 37's packet: 2ΔT + T_bluetooth, covering
+/// the channel 38 and 39 transmissions (paper §2.3.3).
+double reservation_window_us(const AdvertiserTiming& timing,
+                             double packet_duration_us);
+
+}  // namespace itb::ble

@@ -1,0 +1,28 @@
+#include "ble/channel_map.h"
+
+#include <cassert>
+
+namespace itb::ble {
+
+itb::dsp::Real ChannelMap::frequency_hz(unsigned channel_index) {
+  assert(channel_index < kNumChannels);
+  // Core spec Vol 6 Part B 1.4.1: advertising channels sit at the band edges
+  // and middle; data channels are numbered 0..36 across the remaining slots.
+  switch (channel_index) {
+    case 37:
+      return 2.402e9;
+    case 38:
+      return 2.426e9;
+    case 39:
+      return 2.480e9;
+    default:
+      break;
+  }
+  // Data channels: 0..10 -> 2404..2424 MHz, 11..36 -> 2428..2478 MHz.
+  if (channel_index <= 10) {
+    return 2.404e9 + 2e6 * static_cast<itb::dsp::Real>(channel_index);
+  }
+  return 2.428e9 + 2e6 * static_cast<itb::dsp::Real>(channel_index - 11);
+}
+
+}  // namespace itb::ble

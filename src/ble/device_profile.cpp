@@ -1,0 +1,66 @@
+#include "ble/device_profile.h"
+
+#include <cmath>
+
+namespace itb::ble {
+
+DeviceProfile ti_cc2650() {
+  return {.name = "TI CC2650",
+          .tx_power_dbm = 0.0,
+          .cfo_hz = 2e3,
+          .deviation_scale = 1.00,
+          .phase_noise_rad_rms = 0.002,
+          .max_tx_power_dbm = 5.0};
+}
+
+DeviceProfile galaxy_s5() {
+  return {.name = "Galaxy S5",
+          .tx_power_dbm = 0.0,
+          .cfo_hz = 18e3,
+          .deviation_scale = 1.04,
+          .phase_noise_rad_rms = 0.006,
+          .max_tx_power_dbm = 4.0};
+}
+
+DeviceProfile moto360() {
+  return {.name = "Moto360 (2nd gen)",
+          .tx_power_dbm = 0.0,
+          .cfo_hz = -31e3,
+          .deviation_scale = 0.97,
+          .phase_noise_rad_rms = 0.010,
+          .max_tx_power_dbm = 0.0};
+}
+
+CVec apply_impairments(const CVec& samples, const DeviceProfile& profile,
+                       Real sample_rate_hz, itb::dsp::Xoshiro256& rng) {
+  CVec out(samples.size());
+  const Real cfo_step = itb::dsp::kTwoPi * profile.cfo_hz / sample_rate_hz;
+  Real phase = 0.0;
+  Real pn = 0.0;
+  const Real amp = std::pow(10.0, profile.tx_power_dbm / 20.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    phase += cfo_step;
+    pn += profile.phase_noise_rad_rms * rng.gaussian();
+    // Deviation scaling approximated by scaling the sample's own phase
+    // increment is equivalent to scaling the modulating frequency; for the
+    // tone signals used in Fig. 9 a simple remodulation suffices:
+    const Real total = phase + pn;
+    out[i] = amp * samples[i] * itb::dsp::Complex{std::cos(total), std::sin(total)};
+  }
+  if (profile.deviation_scale != 1.0 && !out.empty()) {
+    // Rescale instantaneous frequency by deviation_scale via phase warping.
+    CVec warped(out.size());
+    warped[0] = out[0] / std::abs(out[0]);
+    Real acc_phase = std::arg(out[0]);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      const Real dphi = std::arg(out[i] * std::conj(out[i - 1]));
+      acc_phase += dphi * profile.deviation_scale;
+      const Real mag = std::abs(out[i]);
+      warped[i] = mag * itb::dsp::Complex{std::cos(acc_phase), std::sin(acc_phase)};
+    }
+    return warped;
+  }
+  return out;
+}
+
+}  // namespace itb::ble

@@ -1,0 +1,42 @@
+// Impairment profiles for the commodity Bluetooth transmitters the paper
+// evaluates (Fig. 9: TI CC2650, Samsung Galaxy S5, Moto 360 2nd gen).
+//
+// The single-tone trick is bit-exact, but real radios differ in carrier
+// frequency offset, deviation accuracy, phase noise and TX power — these
+// profiles reproduce the qualitative differences between the three spectra.
+#pragma once
+
+#include <string>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace itb::ble {
+
+using itb::dsp::CVec;
+using itb::dsp::Real;
+
+struct DeviceProfile {
+  std::string name;
+  Real tx_power_dbm = 0.0;
+  Real cfo_hz = 0.0;              ///< carrier frequency offset
+  Real deviation_scale = 1.0;     ///< actual/nominal frequency deviation
+  Real phase_noise_rad_rms = 0.0; ///< per-sample random-walk phase step RMS
+  Real max_tx_power_dbm = 0.0;    ///< capability ceiling (paper §4.2 list)
+};
+
+/// TI CC2650 dev kit: clean reference source with an antenna connector.
+DeviceProfile ti_cc2650();
+
+/// Samsung Galaxy S5: small CFO, slight over-deviation, more phase noise.
+DeviceProfile galaxy_s5();
+
+/// Moto 360 (2nd gen) smartwatch: larger CFO and phase noise (small antenna,
+/// cheaper crystal).
+DeviceProfile moto360();
+
+/// Applies a profile's analog impairments to ideal baseband samples.
+CVec apply_impairments(const CVec& samples, const DeviceProfile& profile,
+                       Real sample_rate_hz, itb::dsp::Xoshiro256& rng);
+
+}  // namespace itb::ble

@@ -1,0 +1,49 @@
+#include "channel/antenna.h"
+
+#include <cmath>
+
+namespace itb::channel {
+
+Antenna monopole_2dbi() {
+  return {.name = "2 dBi monopole",
+          .gain_dbi = 2.0,
+          .efficiency_db = 0.0,
+          .impedance = {50.0, 0.0}};
+}
+
+Antenna contact_lens_loop() {
+  // 1 cm loop is ~lambda/12 at 2.4 GHz; immersed in saline it detunes and
+  // absorbs. The efficiency here is calibrated so the Fig. 15 reproduction
+  // matches the paper's measured RSSI (-72 dBm at 5 in / 20 dBm, usable
+  // past 24 in); saline bulk/interface loss is modeled separately in
+  // tissue.h and applied per backscatter leg.
+  return {.name = "contact-lens 1 cm loop (in saline)",
+          .gain_dbi = -2.0,
+          .efficiency_db = -9.0,
+          .impedance = {20.0, 35.0}};
+}
+
+Antenna neural_implant_loop() {
+  // 4 cm loop is near full-wave at 2.4 GHz: decent gain, but the PDMS +
+  // tissue loading costs efficiency (tissue bulk loss is modeled separately
+  // in tissue.h).
+  return {.name = "neural-implant 4 cm loop",
+          .gain_dbi = 1.0,
+          .efficiency_db = -6.0,
+          .impedance = {45.0, 20.0}};
+}
+
+Antenna card_antenna() {
+  return {.name = "credit-card PCB antenna",
+          .gain_dbi = 0.0,
+          .efficiency_db = -2.0,
+          .impedance = {50.0, 0.0}};
+}
+
+Real mismatch_loss_db(std::complex<Real> za, std::complex<Real> zc) {
+  const std::complex<Real> gamma = (zc - za) / (zc + za);
+  const Real transmitted = 1.0 - std::norm(gamma);
+  return -10.0 * std::log10(std::max(transmitted, 1e-9));
+}
+
+}  // namespace itb::channel

@@ -1,0 +1,31 @@
+// Additive white Gaussian noise, thermal noise floors and SNR utilities.
+#pragma once
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace itb::channel {
+
+using itb::dsp::Complex;
+using itb::dsp::CVec;
+using itb::dsp::Real;
+
+/// Thermal noise power (dBm) in a bandwidth: -174 dBm/Hz + 10log10(BW) + NF.
+Real thermal_noise_dbm(Real bandwidth_hz, Real noise_figure_db = 0.0);
+
+/// Adds complex AWGN of the given total noise power (variance) to samples.
+CVec add_noise_variance(const CVec& x, Real noise_variance,
+                        itb::dsp::Xoshiro256& rng);
+
+/// Adds noise to achieve the requested SNR (dB) relative to the mean power
+/// of x.
+CVec add_noise_snr(const CVec& x, Real snr_db, itb::dsp::Xoshiro256& rng);
+
+/// Applies a static carrier frequency offset and initial phase.
+CVec apply_cfo(const CVec& x, Real cfo_hz, Real sample_rate_hz,
+               Real initial_phase_rad = 0.0);
+
+/// Scales samples by a power gain given in dB (amplitude = 10^(dB/20)).
+CVec apply_gain_db(const CVec& x, Real gain_db);
+
+}  // namespace itb::channel

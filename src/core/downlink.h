@@ -1,0 +1,38 @@
+// End-to-end downlink pipeline (paper §2.4 + §4.4): 802.11g AM frame from a
+// chipset with a known/predictable scrambler seed, over a path-loss + AWGN
+// channel, into the tag's peak detector.
+#pragma once
+
+#include "backscatter/detector.h"
+#include "channel/link.h"
+#include "wifi/am_downlink.h"
+#include "wifi/chipset.h"
+
+namespace itb::core {
+
+using itb::dsp::Real;
+
+struct DownlinkScenario {
+  Real wifi_tx_power_dbm = 15.0;
+  Real distance_m = 3.0;
+  Real pathloss_exponent = 2.2;
+  itb::wifi::ChipsetModel chipset = itb::wifi::ar9580();
+  itb::wifi::OfdmRate rate = itb::wifi::OfdmRate::k36;
+  /// The tag's peak-detector sensitivity (paper: -32 dBm off-the-shelf).
+  Real detector_sensitivity_dbm = -32.0;
+  std::uint64_t seed = 7;
+};
+
+struct DownlinkResult {
+  itb::phy::Bits sent;
+  itb::phy::Bits received;
+  Real ber = 1.0;
+  Real rx_power_dbm = 0.0;
+  bool above_sensitivity = false;
+};
+
+/// Sends `message_bits` once and reports the measured BER at the tag.
+DownlinkResult simulate_downlink(const DownlinkScenario& scenario,
+                                 const itb::phy::Bits& message_bits);
+
+}  // namespace itb::core

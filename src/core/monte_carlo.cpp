@@ -1,0 +1,45 @@
+#include "core/monte_carlo.h"
+
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "dsp/rng.h"
+#include "wifi/dsss_rx.h"
+#include "wifi/dsss_tx.h"
+
+namespace itb::core {
+
+std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
+                                 const std::vector<double>& snr_grid_db) {
+  itb::wifi::DsssTxConfig txcfg;
+  txcfg.rate = cfg.rate;
+  const itb::wifi::DsssTransmitter tx(txcfg);
+  const itb::wifi::DsssReceiver rx;
+
+  itb::dsp::Xoshiro256 rng(cfg.seed);
+
+  std::vector<PerPoint> out;
+  out.reserve(snr_grid_db.size());
+  for (const double snr : snr_grid_db) {
+    std::size_t failures = 0;
+    for (std::size_t t = 0; t < cfg.trials_per_point; ++t) {
+      itb::phy::Bytes psdu(cfg.psdu_bytes);
+      for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+      const auto frame = tx.modulate(psdu);
+      // The chip stream occupies the full 22 MHz channel at 1 sample/chip,
+      // so per-sample SNR equals channel SNR.
+      const auto noisy = itb::channel::add_noise_snr(frame.baseband, snr, rng);
+      const auto result = rx.receive(noisy);
+      const bool ok =
+          result.has_value() && result->header_ok && result->psdu == psdu;
+      failures += !ok;
+    }
+    out.push_back({snr,
+                   static_cast<double>(failures) /
+                       static_cast<double>(cfg.trials_per_point),
+                   itb::channel::per_80211b(cfg.rate, snr, cfg.psdu_bytes),
+                   cfg.trials_per_point});
+  }
+  return out;
+}
+
+}  // namespace itb::core

@@ -1,0 +1,33 @@
+// Waveform-level Monte-Carlo PER engine: runs the full 802.11b receive
+// chain over noisy synthesized frames at a grid of SNRs. Used to validate
+// the closed-form per_80211b() model (DESIGN.md's cross-check commitment)
+// and by the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "wifi/rates.h"
+
+namespace itb::core {
+
+struct PerPoint {
+  double snr_db;
+  double per_monte_carlo;
+  double per_closed_form;
+  std::size_t trials;
+};
+
+struct MonteCarloConfig {
+  itb::wifi::DsssRate rate = itb::wifi::DsssRate::k2Mbps;
+  std::size_t psdu_bytes = 31;
+  std::size_t trials_per_point = 40;
+  std::uint64_t seed = 2024;
+};
+
+/// Sweeps channel SNR (dB, in the 22 MHz channel bandwidth) and measures
+/// frame error rate by decoding each noisy frame end-to-end, side by side
+/// with the closed-form prediction.
+std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
+                                 const std::vector<double>& snr_grid_db);
+
+}  // namespace itb::core

@@ -1,0 +1,49 @@
+#include "dsp/correlate.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace itb::dsp {
+
+CVec cross_correlate(std::span<const Complex> x, std::span<const Complex> pattern) {
+  if (x.size() < pattern.size() || pattern.empty()) return {};
+  CVec out(x.size() - pattern.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t k = 0; k < pattern.size(); ++k) {
+      acc += x[i + k] * std::conj(pattern[k]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::size_t peak_lag(std::span<const Complex> corr) {
+  std::size_t best = 0;
+  Real best_mag = -1.0;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const Real m = std::norm(corr[i]);
+    if (m > best_mag) {
+      best_mag = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Real normalized_peak(std::span<const Complex> x, std::span<const Complex> pattern,
+                     std::size_t lag) {
+  assert(lag + pattern.size() <= x.size());
+  Complex acc{0.0, 0.0};
+  Real xe = 0.0;
+  Real pe = 0.0;
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    acc += x[lag + k] * std::conj(pattern[k]);
+    xe += std::norm(x[lag + k]);
+    pe += std::norm(pattern[k]);
+  }
+  const Real denom = std::sqrt(xe * pe);
+  return denom > 0.0 ? std::abs(acc) / denom : 0.0;
+}
+
+}  // namespace itb::dsp

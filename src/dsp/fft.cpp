@@ -1,0 +1,100 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace itb::dsp {
+
+namespace {
+
+// Bit-reversal permutation for the iterative FFT.
+void bit_reverse_permute(CVec& x) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void transform(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  assert(is_power_of_two(n) && "FFT size must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Real ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<Real>(len);
+    const Complex wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const Real inv_n = 1.0 / static_cast<Real>(n);
+    for (Complex& v : x) v *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(CVec& x) { transform(x, /*inverse=*/false); }
+
+void ifft_inplace(CVec& x) { transform(x, /*inverse=*/true); }
+
+CVec fft(std::span<const Complex> x) {
+  CVec out(x.begin(), x.end());
+  fft_inplace(out);
+  return out;
+}
+
+CVec ifft(std::span<const Complex> x) {
+  CVec out(x.begin(), x.end());
+  ifft_inplace(out);
+  return out;
+}
+
+CVec dft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const Real ang =
+          -kTwoPi * static_cast<Real>(k) * static_cast<Real>(t) / static_cast<Real>(n);
+      acc += x[t] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+CVec fftshift(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+RVec fftshift(std::span<const Real> x) {
+  const std::size_t n = x.size();
+  RVec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+}  // namespace itb::dsp

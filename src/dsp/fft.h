@@ -1,0 +1,37 @@
+// Radix-2 FFT/IFFT plus a reference DFT used to validate it in tests.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace itb::dsp {
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `x.size()` must be a power of two (asserted).
+void fft_inplace(CVec& x);
+
+/// In-place inverse FFT with 1/N normalization. Size must be a power of two.
+void ifft_inplace(CVec& x);
+
+/// Out-of-place convenience wrappers.
+CVec fft(std::span<const Complex> x);
+CVec ifft(std::span<const Complex> x);
+
+/// O(N^2) reference DFT, any size. Used by tests and small transforms.
+CVec dft(std::span<const Complex> x);
+
+/// True if n is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// fftshift: swaps halves so DC ends up in the middle (even sizes) —
+/// convenient for plotting spectra.
+CVec fftshift(std::span<const Complex> x);
+RVec fftshift(std::span<const Real> x);
+
+}  // namespace itb::dsp

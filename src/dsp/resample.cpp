@@ -1,0 +1,67 @@
+#include "dsp/resample.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fir.h"
+
+namespace itb::dsp {
+
+CVec upsample(std::span<const Complex> x, std::size_t factor) {
+  assert(factor >= 1);
+  if (factor == 1) return CVec(x.begin(), x.end());
+  CVec stuffed(x.size() * factor, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    stuffed[i * factor] = x[i] * static_cast<Real>(factor);
+  }
+  const std::size_t taps = 8 * factor + 1;
+  const RVec lp = design_lowpass(taps, 0.45 / static_cast<Real>(factor));
+  return filter_same(stuffed, lp);
+}
+
+CVec decimate(std::span<const Complex> x, std::size_t factor) {
+  assert(factor >= 1);
+  if (factor == 1) return CVec(x.begin(), x.end());
+  const std::size_t taps = 8 * factor + 1;
+  const RVec lp = design_lowpass(taps, 0.45 / static_cast<Real>(factor));
+  const CVec filtered = filter_same(x, lp);
+  CVec out(x.size() / factor);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = filtered[i * factor];
+  return out;
+}
+
+CVec resample_linear(std::span<const Complex> x, Real in_rate_hz, Real out_rate_hz) {
+  assert(in_rate_hz > 0 && out_rate_hz > 0);
+  if (x.empty()) return {};
+  const Real ratio = in_rate_hz / out_rate_hz;
+  const auto out_len =
+      static_cast<std::size_t>(std::floor(static_cast<Real>(x.size() - 1) / ratio)) + 1;
+  CVec out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const Real pos = static_cast<Real>(i) * ratio;
+    const auto idx = static_cast<std::size_t>(pos);
+    const Real frac = pos - static_cast<Real>(idx);
+    const Complex a = x[idx];
+    const Complex b = idx + 1 < x.size() ? x[idx + 1] : x[idx];
+    out[i] = a + (b - a) * frac;
+  }
+  return out;
+}
+
+CVec hold_upsample(std::span<const Complex> x, std::size_t factor) {
+  CVec out(x.size() * factor);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < factor; ++k) out[i * factor + k] = x[i];
+  }
+  return out;
+}
+
+RVec hold_upsample(std::span<const Real> x, std::size_t factor) {
+  RVec out(x.size() * factor);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < factor; ++k) out[i * factor + k] = x[i];
+  }
+  return out;
+}
+
+}  // namespace itb::dsp

@@ -1,0 +1,33 @@
+// Core numeric types shared across the interscatter DSP stack.
+//
+// All PHY layers work on complex-baseband sample streams (CVec). Double
+// precision is used throughout: the simulator trades speed for numerical
+// headroom (spur measurements down to -60 dBc need it).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace itb::dsp {
+
+using Real = double;
+using Complex = std::complex<Real>;
+using CVec = std::vector<Complex>;
+using RVec = std::vector<Real>;
+
+inline constexpr Real kPi = std::numbers::pi_v<Real>;
+inline constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+/// Imaginary unit, j such that j*j == -1.
+inline constexpr Complex kJ{0.0, 1.0};
+
+/// Speed of light in vacuum [m/s]; used by channel models.
+inline constexpr Real kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K]; used for thermal-noise floors.
+inline constexpr Real kBoltzmann = 1.380649e-23;
+
+}  // namespace itb::dsp

@@ -1,0 +1,37 @@
+#include "dsp/window.h"
+
+#include <cmath>
+
+namespace itb::dsp {
+
+RVec make_window(WindowKind kind, std::size_t n) {
+  RVec w(n, 1.0);
+  if (n <= 1) return w;
+  const Real denom = static_cast<Real>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+Real window_power(const RVec& w) {
+  Real acc = 0.0;
+  for (Real v : w) acc += v * v;
+  return acc;
+}
+
+}  // namespace itb::dsp

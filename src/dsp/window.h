@@ -1,0 +1,18 @@
+// Classic analysis windows used by the PSD estimator and FIR designer.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace itb::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman };
+
+/// Returns the n-point symmetric window of the given kind.
+RVec make_window(WindowKind kind, std::size_t n);
+
+/// Sum of squared window coefficients (used for PSD normalization).
+Real window_power(const RVec& w);
+
+}  // namespace itb::dsp

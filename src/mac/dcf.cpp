@@ -1,0 +1,124 @@
+#include "mac/dcf.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace itb::mac {
+
+namespace {
+
+constexpr std::array<Real, 8> kRateLadder = {6, 9, 12, 18, 24, 36, 48, 54};
+
+std::size_t rate_index(Real mbps) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < kRateLadder.size(); ++i) {
+    if (std::abs(kRateLadder[i] - mbps) < std::abs(kRateLadder[best] - mbps)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DcfResult simulate_dcf(const DcfConfig& cfg, const InterfererConfig& interferer,
+                       Real duration_s, std::uint64_t seed) {
+  itb::dsp::Xoshiro256 rng(seed);
+  const Real duration_us = duration_s * 1e6;
+
+  // Pre-draw interferer packet start times (Poisson arrivals).
+  std::vector<std::pair<Real, Real>> bursts;  // (start, end)
+  if (interferer.on_victim_channel && interferer.packets_per_second > 0.0) {
+    const Real mean_gap_us = 1e6 / interferer.packets_per_second;
+    Real t = rng.uniform() * mean_gap_us;
+    while (t < duration_us) {
+      bursts.emplace_back(t, t + interferer.packet_duration_us);
+      t += -mean_gap_us * std::log(std::max(rng.uniform(), 1e-12));
+    }
+  }
+  std::size_t burst_cursor = 0;
+  const auto overlaps_burst = [&](Real start, Real end) {
+    while (burst_cursor < bursts.size() && bursts[burst_cursor].second < start) {
+      ++burst_cursor;
+    }
+    return burst_cursor < bursts.size() && bursts[burst_cursor].first < end;
+  };
+
+  DcfResult out;
+  Real now_us = 0.0;
+  Real busy_us = 0.0;
+  std::size_t rate_idx = rate_index(cfg.phy_rate_mbps);
+  unsigned cw = cfg.cw_min;
+  std::uint64_t bits_delivered = 0;
+  unsigned consecutive_ok = 0;
+  unsigned consecutive_fail = 0;
+  constexpr unsigned kMaxRetries = 4;
+
+  while (now_us < duration_us) {
+    // One MSDU: transmit + up to kMaxRetries MAC retransmissions. The
+    // tag is a hidden node (it cannot carrier-sense the victim flow), so a
+    // retry collides whenever it overlaps a backscatter burst.
+    bool delivered = false;
+    for (unsigned attempt = 0; attempt <= kMaxRetries; ++attempt) {
+      const Real backoff_slots = static_cast<Real>(rng.uniform_int(cw + 1));
+      now_us += cfg.difs_us + backoff_slots * cfg.slot_us;
+      if (now_us >= duration_us) break;
+
+      const Real rate = kRateLadder[rate_idx];
+      const Real frame_us =
+          cfg.phy_overhead_us + static_cast<Real>(cfg.frame_bytes) * 8.0 / rate +
+          cfg.sifs_us + 24.0;  // SIFS + ACK at base rate
+      const Real start = now_us;
+      const Real end = now_us + frame_us;
+      const bool corrupted = overlaps_burst(start, end) &&
+                             rng.uniform() < interferer.corruption_probability;
+      now_us = end;
+      busy_us += frame_us;
+
+      if (!corrupted) {
+        delivered = true;
+        cw = cfg.cw_min;
+        break;
+      }
+      ++out.frames_lost;  // counts corrupted attempts (airtime wasted)
+      cw = std::min(cw * 2 + 1, cfg.cw_max);
+      // Minstrel-style adaptation: step down only after two consecutive
+      // failed attempts, step back up after a streak of successes. Rates
+      // below 12 Mbps are not probed — collision losses are rate-agnostic,
+      // and real rate controllers detect that (avoids a death spiral where
+      // longer frames collide even more).
+      constexpr std::size_t kMinRateIdx = 2;  // 12 Mbps
+      if (cfg.rate_adaptation && ++consecutive_fail >= 2 &&
+          rate_idx > kMinRateIdx) {
+        --rate_idx;
+        consecutive_fail = 0;
+      }
+    }
+    if (now_us >= duration_us) break;
+
+    if (delivered) {
+      ++out.frames_ok;
+      bits_delivered += cfg.frame_bytes * 8;
+      consecutive_fail = 0;
+      if (cfg.rate_adaptation && ++consecutive_ok >= 10 &&
+          rate_idx + 1 < kRateLadder.size()) {
+        ++rate_idx;
+        consecutive_ok = 0;
+      }
+    } else {
+      consecutive_ok = 0;
+    }
+  }
+
+  const std::uint64_t total = out.frames_ok + out.frames_lost;
+  out.collision_rate =
+      total ? static_cast<Real>(out.frames_lost) / static_cast<Real>(total) : 0.0;
+  out.throughput_mbps = cfg.tcp_efficiency *
+                        static_cast<Real>(bits_delivered) / duration_us;
+  out.airtime_busy_fraction = busy_us / duration_us;
+  return out;
+}
+
+}  // namespace itb::mac

@@ -1,0 +1,70 @@
+#include "mac/query_reply.h"
+
+namespace itb::mac {
+
+namespace {
+
+/// 4-bit XOR checksum over the two payload bytes, nibble-wise.
+std::uint8_t checksum4(std::uint8_t addr, std::uint8_t op) {
+  const std::uint8_t x = addr ^ op;
+  return static_cast<std::uint8_t>((x >> 4) ^ (x & 0x0F));
+}
+
+}  // namespace
+
+Bits QueryFrame::to_bits() const {
+  Bits out;
+  const Bits a = itb::phy::uint_to_bits_lsb_first(tag_address, 8);
+  const Bits o = itb::phy::uint_to_bits_lsb_first(opcode, 8);
+  const Bits c = itb::phy::uint_to_bits_lsb_first(checksum4(tag_address, opcode), 4);
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), o.begin(), o.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+std::optional<QueryFrame> QueryFrame::from_bits(const Bits& bits) {
+  if (bits.size() < kBits) return std::nullopt;
+  QueryFrame out;
+  out.tag_address = static_cast<std::uint8_t>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(0, 8)));
+  out.opcode = static_cast<std::uint8_t>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(8, 8)));
+  const auto check = static_cast<std::uint8_t>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(16, 4)));
+  if (check != checksum4(out.tag_address, out.opcode)) return std::nullopt;
+  return out;
+}
+
+PollingStats simulate_polling(const std::vector<PolledTag>& tags,
+                              const PollingConfig& cfg, std::size_t rounds,
+                              std::uint64_t seed) {
+  itb::dsp::Xoshiro256 rng(seed);
+  PollingStats out;
+  double payload_bits_delivered = 0.0;
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const PolledTag& tag : tags) {
+      ++out.queries_sent;
+      // Downlink query time + one advertising interval for the reply window.
+      const double query_us =
+          static_cast<double>(QueryFrame::kBits) / cfg.downlink_kbps * 1e3;
+      out.total_time_us += query_us + cfg.advertising_interval_ms * 1e3;
+
+      if (rng.uniform() < cfg.downlink_error_rate) continue;  // tag missed it
+      if (rng.uniform() < cfg.uplink_error_rate) continue;    // reply lost
+
+      ++out.replies_received;
+      payload_bits_delivered +=
+          static_cast<double>(tag.pending_payload.size()) * 8.0;
+    }
+  }
+
+  if (out.total_time_us > 0.0) {
+    out.aggregate_goodput_kbps =
+        payload_bits_delivered / (out.total_time_us / 1e3);
+  }
+  return out;
+}
+
+}  // namespace itb::mac

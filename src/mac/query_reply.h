@@ -1,0 +1,59 @@
+// Query-reply protocol tying the two directions together (paper §2.5):
+// the Wi-Fi device queries a tag over the OFDM-AM downlink; the addressed
+// tag answers on the backscatter uplink during the next BLE advertisement.
+// Multiple tags share the medium by being polled one after the other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+#include "phycommon/bits.h"
+
+namespace itb::mac {
+
+using itb::dsp::Real;
+using itb::phy::Bits;
+using itb::phy::Bytes;
+
+struct QueryFrame {
+  std::uint8_t tag_address = 0;
+  std::uint8_t opcode = 0;  ///< application command
+  Bits to_bits() const;
+  static std::optional<QueryFrame> from_bits(const Bits& bits);
+
+  static constexpr std::size_t kBits = 8 + 8 + 4;  ///< addr + op + checksum
+};
+
+struct PolledTag {
+  std::uint8_t address;
+  Bytes pending_payload;  ///< what the tag will backscatter when polled
+};
+
+struct PollingStats {
+  std::size_t queries_sent = 0;
+  std::size_t replies_received = 0;
+  double total_time_us = 0.0;
+  /// Effective aggregate goodput across all tags, kbps.
+  double aggregate_goodput_kbps = 0.0;
+};
+
+struct PollingConfig {
+  /// Downlink bit rate (paper: 125 kbps with 2 OFDM symbols/bit).
+  Real downlink_kbps = 125.0;
+  /// Advertising interval bounds how often a tag can reply.
+  Real advertising_interval_ms = 20.0;
+  /// Per-query probability the downlink decode fails at the tag.
+  Real downlink_error_rate = 0.01;
+  /// Per-reply probability the backscatter packet is lost.
+  Real uplink_error_rate = 0.05;
+};
+
+/// Simulates one round-robin polling sweep over the tags, `rounds` times.
+PollingStats simulate_polling(const std::vector<PolledTag>& tags,
+                              const PollingConfig& cfg, std::size_t rounds,
+                              std::uint64_t seed);
+
+}  // namespace itb::mac

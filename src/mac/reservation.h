@@ -1,0 +1,52 @@
+// Channel-reservation strategies for collision-free backscatter
+// (paper §2.3.3, optimizations 1-3):
+//   1. CTS-to-Self scheduled by the helper device's own Wi-Fi radio before
+//      the BLE packet (needs driver/firmware coordination).
+//   2. Tag-initiated RTS on the channel-37 advertisement; the Wi-Fi device
+//      answers CTS, reserving 2*dT + T_bluetooth for the channel 38/39
+//      advertisements.
+//   3. Data-as-RTS: the first backscattered packet carries data; its
+//      CTS-to-Self response reserves the rest of the event.
+#pragma once
+
+#include "ble/advertiser.h"
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace itb::mac {
+
+using itb::dsp::Real;
+
+enum class ReservationScheme {
+  kNone,
+  kCtsToSelf,   ///< optimization 1
+  kTagRts,      ///< optimization 2
+  kDataAsRts,   ///< optimization 3
+};
+
+struct ReservationConfig {
+  ReservationScheme scheme = ReservationScheme::kNone;
+  itb::ble::AdvertiserTiming timing{};
+  Real ble_packet_us = 376.0;  ///< 47-byte advertising packet at 1 Mbps
+  /// Probability that the Wi-Fi channel is busy at any instant (ambient load).
+  Real channel_busy_probability = 0.3;
+  /// Probability the tag's peak detector sees the CTS (RTS schemes).
+  Real cts_detection_probability = 0.95;
+};
+
+struct ReservationResult {
+  /// Per advertising event: how many of the (up to 3) backscatter
+  /// opportunities were collision-free.
+  Real clean_transmissions_per_event = 0.0;
+  /// Fraction of backscattered packets that collided with ambient traffic.
+  Real collision_fraction = 0.0;
+  /// Extra tag airtime spent on control (RTS) rather than data, us/event.
+  Real control_overhead_us = 0.0;
+};
+
+/// Monte-Carlo evaluation of a reservation scheme over `events` advertising
+/// events.
+ReservationResult evaluate_reservation(const ReservationConfig& cfg,
+                                       std::size_t events, std::uint64_t seed);
+
+}  // namespace itb::mac

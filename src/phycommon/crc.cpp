@@ -1,0 +1,112 @@
+#include "phycommon/crc.h"
+
+#include <cassert>
+
+namespace itb::phy {
+
+namespace {
+
+/// Reflects the low `width` bits of v.
+std::uint32_t reflect_bits(std::uint32_t v, int width) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    if (v & (1u << i)) out |= 1u << (width - 1 - i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t CrcEngine::compute_bits(std::span<const std::uint8_t> bits) const {
+  const std::uint32_t mask =
+      width_ == 32 ? 0xFFFFFFFFu : ((1u << width_) - 1u);
+  const std::uint32_t rpoly = reflect_bits(poly_ & mask, width_);
+  std::uint32_t reg = init_ & mask;
+  for (std::uint8_t bit : bits) {
+    const std::uint32_t fb = (reg ^ (bit & 1u)) & 1u;
+    reg >>= 1;
+    if (fb) reg ^= rpoly;
+  }
+  if (complement_out_) reg = (~reg) & mask;
+  return reg;
+}
+
+std::uint32_t CrcEngine::compute_bytes(std::span<const std::uint8_t> bytes) const {
+  const Bits bits = bytes_to_bits_lsb_first(bytes);
+  return compute_bits(bits);
+}
+
+// --- free functions -------------------------------------------------------
+
+std::uint32_t ble_crc24(std::span<const std::uint8_t> pdu_bits, std::uint32_t init) {
+  // BLE spec Vol 6 Part B 3.1.1: 24-bit LFSR, polynomial
+  // x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1. The LFSR is initialized with
+  // 0x555555 (advertising) with bit 23 of the init value in position 23.
+  // Bits are shifted in air order (LSB-first of each PDU byte).
+  std::uint32_t lfsr = init & 0xFFFFFF;
+  constexpr std::uint32_t kPoly = 0x00065B;  // taps below x^24
+  for (std::uint8_t bit : pdu_bits) {
+    const std::uint32_t fb = ((lfsr >> 23) ^ (bit & 1u)) & 1u;
+    lfsr = (lfsr << 1) & 0xFFFFFF;
+    if (fb) lfsr ^= kPoly;
+  }
+  return lfsr;
+}
+
+Bits ble_crc24_bits(std::span<const std::uint8_t> pdu_bits, std::uint32_t init) {
+  const std::uint32_t crc = ble_crc24(pdu_bits, init);
+  // Air order: most-significant CRC bit (position 23) first per spec.
+  return uint_to_bits_msb_first(crc, 24);
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> bytes) {
+  // Reflected implementation with the reversed polynomial 0xEDB88320.
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+std::uint16_t crc16_x25(std::span<const std::uint8_t> bytes) {
+  // Reflected CRC-16/X-25: poly 0x1021 reversed = 0x8408.
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 1) ? static_cast<std::uint16_t>((crc >> 1) ^ 0x8408)
+                      : static_cast<std::uint16_t>(crc >> 1);
+    }
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+std::uint16_t crc16_plcp(std::span<const std::uint8_t> header_bits) {
+  // 802.11b-1999 15.2.3.6: CCITT CRC-16 (x^16+x^12+x^5+1), preset to ones,
+  // over the SIGNAL/SERVICE/LENGTH bits in transmit order, ones complement.
+  std::uint16_t reg = 0xFFFF;
+  for (std::uint8_t bit : header_bits) {
+    const std::uint16_t fb = static_cast<std::uint16_t>(((reg >> 15) ^ bit) & 1u);
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (fb) reg ^= 0x1021;
+  }
+  return static_cast<std::uint16_t>(~reg);
+}
+
+std::uint16_t crc16_802154(std::span<const std::uint8_t> bytes) {
+  // 802.15.4-2011 5.2.1.9: ITU CRC-16, init 0, reflected (LSB-first bits).
+  std::uint16_t crc = 0x0000;
+  for (std::uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 1) ? static_cast<std::uint16_t>((crc >> 1) ^ 0x8408)
+                      : static_cast<std::uint16_t>(crc >> 1);
+    }
+  }
+  return crc;
+}
+
+}  // namespace itb::phy

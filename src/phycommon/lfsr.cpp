@@ -1,0 +1,125 @@
+#include "phycommon/lfsr.h"
+
+#include <cassert>
+
+namespace itb::phy {
+
+// --- BleWhitener -----------------------------------------------------------
+
+BleWhitener::BleWhitener(unsigned channel_index) {
+  assert(channel_index < 64);
+  reg_[0] = 1;
+  // Positions 1..6 get the channel index with its MSB (bit 5) in position 1.
+  for (int i = 0; i < 6; ++i) {
+    reg_[1 + i] = static_cast<std::uint8_t>((channel_index >> (5 - i)) & 1u);
+  }
+}
+
+std::uint8_t BleWhitener::next_bit() {
+  const std::uint8_t out = reg_[6];
+  // Shift right-to-left through positions; feedback into 0 and XOR into 4.
+  for (int i = 6; i >= 1; --i) reg_[i] = reg_[i - 1];
+  reg_[0] = out;
+  reg_[4] = reg_[4] ^ out;
+  return out;
+}
+
+Bits BleWhitener::process(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = (bits[i] ^ next_bit()) & 1;
+  }
+  return out;
+}
+
+Bits BleWhitener::sequence(unsigned channel_index, std::size_t n) {
+  BleWhitener w(channel_index);
+  Bits out(n);
+  for (auto& b : out) b = w.next_bit();
+  return out;
+}
+
+// --- OfdmScrambler ---------------------------------------------------------
+
+OfdmScrambler::OfdmScrambler(std::uint8_t seed7) : state_(seed7 & 0x7F) {
+  assert(state_ != 0 && "802.11 scrambler seed must be non-zero");
+}
+
+std::uint8_t OfdmScrambler::next_bit() {
+  // state_ bit k holds X^{k+1}; feedback = X^7 ^ X^4.
+  const std::uint8_t x7 = (state_ >> 6) & 1;
+  const std::uint8_t x4 = (state_ >> 3) & 1;
+  const std::uint8_t fb = x7 ^ x4;
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+Bits OfdmScrambler::process(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = (bits[i] ^ next_bit()) & 1;
+  }
+  return out;
+}
+
+Bits OfdmScrambler::sequence(std::uint8_t seed7, std::size_t n) {
+  OfdmScrambler s(seed7);
+  Bits out(n);
+  for (auto& b : out) b = s.next_bit();
+  return out;
+}
+
+std::uint8_t OfdmScrambler::seed_from_first_bits(
+    std::span<const std::uint8_t> first7) {
+  assert(first7.size() >= 7);
+  // The first 7 scrambler output bits uniquely determine the seed; search the
+  // 127 possibilities (cheap, runs once per frame on the receive path).
+  for (std::uint8_t seed = 1; seed < 128; ++seed) {
+    const Bits seq = sequence(seed, 7);
+    bool match = true;
+    for (int i = 0; i < 7; ++i) {
+      if (seq[i] != (first7[i] & 1)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+  return 0;  // no seed reproduces these bits (corrupted input)
+}
+
+// --- DsssScrambler ---------------------------------------------------------
+
+DsssScrambler::DsssScrambler(std::uint8_t seed7) : state_(seed7 & 0x7F) {}
+
+std::uint8_t DsssScrambler::scramble_bit(std::uint8_t bit) {
+  // state_ bit k holds Z^{-(k+1)}; taps at Z^-4 and Z^-7.
+  const std::uint8_t z4 = (state_ >> 3) & 1;
+  const std::uint8_t z7 = (state_ >> 6) & 1;
+  const std::uint8_t out = (bit ^ z4 ^ z7) & 1;
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7F);
+  return out;
+}
+
+std::uint8_t DsssScrambler::descramble_bit(std::uint8_t bit) {
+  const std::uint8_t z4 = (state_ >> 3) & 1;
+  const std::uint8_t z7 = (state_ >> 6) & 1;
+  const std::uint8_t out = (bit ^ z4 ^ z7) & 1;
+  // Self-synchronizing: the *received* (scrambled) bit enters the register.
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | (bit & 1)) & 0x7F);
+  return out;
+}
+
+Bits DsssScrambler::scramble(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = scramble_bit(bits[i]);
+  return out;
+}
+
+Bits DsssScrambler::descramble(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = descramble_bit(bits[i]);
+  return out;
+}
+
+}  // namespace itb::phy

@@ -1,0 +1,85 @@
+// Linear-feedback shift registers used across the stack:
+//   - BLE data whitener (x^7 + x^4 + 1, channel-seeded)      — paper §2.2
+//   - 802.11a/g frame-synchronous scrambler (same polynomial) — paper §2.4
+//   - 802.11b self-synchronizing scrambler                    — paper §2.3.2
+//
+// The BLE whitener and the 802.11a/g scrambler share the polynomial but not
+// the structure: BLE's is Galois-style per the core spec figure, while the
+// OFDM scrambler is a Fibonacci generator XORed onto the data.
+#pragma once
+
+#include <cstdint>
+
+#include "phycommon/bits.h"
+
+namespace itb::phy {
+
+/// BLE link-layer whitener (Bluetooth Core Spec Vol 6 Part B §3.2).
+///
+/// 7-bit register, polynomial x^7 + x^4 + 1. Position 0 is initialized to 1
+/// and positions 1..6 to the channel index, MSB in position 1. Each clock
+/// outputs position 6, feeds it back into position 0 and XORs it into
+/// position 4. The output bit is XORed with the data bit.
+class BleWhitener {
+ public:
+  explicit BleWhitener(unsigned channel_index);
+
+  /// Next bit of the raw whitening sequence (advances state).
+  std::uint8_t next_bit();
+
+  /// Whitens (or de-whitens: the operation is an involution) a bit stream.
+  Bits process(std::span<const std::uint8_t> bits);
+
+  /// The first n bits of the whitening sequence for a channel, without
+  /// disturbing this instance.
+  static Bits sequence(unsigned channel_index, std::size_t n);
+
+ private:
+  std::uint8_t reg_[7];  // reg_[i] = position i, one bit each
+};
+
+/// 802.11a/g frame-synchronous scrambler (IEEE 802.11-2016 §17.3.5.5).
+///
+/// 7-bit Fibonacci LFSR, feedback x^7 + x^4 + 1: out = s[6] ^ s[3]; the
+/// output is shifted back into s[0] and XORed with the data. Seed must be
+/// non-zero; transmitters pick a "pseudo-random" seed per frame — chipset
+/// policies for that choice are modeled in wifi/chipset.h (paper §4.4).
+class OfdmScrambler {
+ public:
+  explicit OfdmScrambler(std::uint8_t seed7);
+
+  std::uint8_t next_bit();
+  Bits process(std::span<const std::uint8_t> bits);
+
+  /// First n bits of the scrambling sequence for a seed.
+  static Bits sequence(std::uint8_t seed7, std::size_t n);
+
+  /// Recovers the 7-bit seed from the first 7 descrambled-known bits
+  /// (e.g. the all-zero SERVICE field), as a receiver does.
+  static std::uint8_t seed_from_first_bits(std::span<const std::uint8_t> first7);
+
+ private:
+  std::uint8_t state_;  // bit i = s[i+1] in the spec's X^i numbering
+};
+
+/// 802.11b self-synchronizing scrambler (IEEE 802.11-2016 §16.2.4).
+///
+/// Polynomial G(z) = z^-7 + z^-4 + 1. The TX scrambler feeds *scrambled*
+/// output back into the register, so a receiver seeded with anything
+/// converges after 7 bits — which is why the PLCP SYNC field is 128
+/// scrambled ones. Seeds: 0x6C (long preamble), 0x1B (short).
+class DsssScrambler {
+ public:
+  explicit DsssScrambler(std::uint8_t seed7);
+
+  std::uint8_t scramble_bit(std::uint8_t bit);
+  std::uint8_t descramble_bit(std::uint8_t bit);
+
+  Bits scramble(std::span<const std::uint8_t> bits);
+  Bits descramble(std::span<const std::uint8_t> bits);
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace itb::phy

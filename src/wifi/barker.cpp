@@ -1,0 +1,42 @@
+#include "wifi/barker.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace itb::wifi {
+
+void spread_symbol(Complex symbol, CVec& out) {
+  for (int c : kBarker) out.push_back(symbol * static_cast<Real>(c));
+}
+
+CVec spread(std::span<const Complex> symbols) {
+  CVec out;
+  out.reserve(symbols.size() * kBarker.size());
+  for (const Complex& s : symbols) spread_symbol(s, out);
+  return out;
+}
+
+CVec despread(std::span<const Complex> chips) {
+  assert(chips.size() % kBarker.size() == 0);
+  const std::size_t n = chips.size() / kBarker.size();
+  CVec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t k = 0; k < kBarker.size(); ++k) {
+      acc += chips[i * kBarker.size() + k] * static_cast<Real>(kBarker[k]);
+    }
+    out[i] = acc / static_cast<Real>(kBarker.size());
+  }
+  return out;
+}
+
+Real barker_correlation(std::span<const Complex> window) {
+  assert(window.size() >= kBarker.size());
+  Complex acc{0.0, 0.0};
+  for (std::size_t k = 0; k < kBarker.size(); ++k) {
+    acc += window[k] * static_cast<Real>(kBarker[k]);
+  }
+  return std::abs(acc);
+}
+
+}  // namespace itb::wifi

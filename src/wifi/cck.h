@@ -1,0 +1,87 @@
+// Complementary Code Keying (CCK) for 802.11b 5.5 and 11 Mbps.
+//
+// Each symbol carries 4 bits (5.5 Mbps) or 8 bits (11 Mbps) in an 8-chip
+// complex codeword derived from four phases:
+//   c = (e^{j(p1+p2+p3+p4)}, e^{j(p1+p3+p4)}, e^{j(p1+p2+p4)}, -e^{j(p1+p4)},
+//        e^{j(p1+p2+p3)},    e^{j(p1+p3)},    -e^{j(p1+p2)},   e^{jp1})
+// p1 is DQPSK (differential, with an extra pi rotation on odd symbols);
+// p2..p4 carry the remaining bits (IEEE 802.11-2016 sect. 16.4.6.5/6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.h"
+#include "phycommon/bits.h"
+#include "wifi/rates.h"
+
+namespace itb::wifi {
+
+using itb::dsp::Complex;
+using itb::dsp::CVec;
+using itb::dsp::Real;
+using itb::phy::Bits;
+
+inline constexpr std::size_t kCckChipsPerSymbol = 8;
+
+/// 8-chip codeword for phases (p1..p4).
+std::array<Complex, kCckChipsPerSymbol> cck_codeword(Real p1, Real p2, Real p3,
+                                                     Real p4);
+
+/// QPSK phase for the (d_i, d_{i+1}) dibit used by p2/p3/p4 at 11 Mbps:
+/// 00 -> 0, 01 -> pi/2, 10 -> pi, 11 -> 3pi/2 (Table 16-6).
+Real cck_qpsk_phase(std::uint8_t d0, std::uint8_t d1);
+
+/// CCK modulator. Stateful: tracks the DQPSK reference phase and the
+/// even/odd symbol count (odd symbols get an extra pi on p1).
+class CckModulator {
+ public:
+  explicit CckModulator(DsssRate rate);
+
+  /// Modulates a whole bit stream (size multiple of 4 or 8 depending on
+  /// rate) into chips.
+  CVec modulate(const Bits& bits);
+
+  /// Phases p2..p4 for one symbol's data bits (rate-dependent mapping).
+  /// `data` holds the bits after the first DQPSK dibit: 2 bits for 5.5 Mbps,
+  /// 6 bits for 11 Mbps.
+  std::array<Real, 3> data_phases(std::span<const std::uint8_t> data) const;
+
+  std::size_t bits_per_symbol() const { return bits_per_symbol_; }
+  void reset(Real initial_phase_rad = 0.0);
+
+ private:
+  DsssRate rate_;
+  std::size_t bits_per_symbol_;
+  Real phase_ref_ = 0.0;
+  std::size_t symbol_index_ = 0;
+};
+
+/// CCK demodulator: nearest-codeword search over p2..p4 plus differential
+/// recovery of p1.
+class CckDemodulator {
+ public:
+  explicit CckDemodulator(DsssRate rate);
+
+  /// Demodulates chips (size multiple of 8) into bits. `reference_phase` is
+  /// the phase of the last preceding symbol (header tail).
+  Bits demodulate(std::span<const Complex> chips, Real reference_phase_rad = 0.0);
+
+  void reset(Real reference_phase_rad = 0.0);
+
+ private:
+  DsssRate rate_;
+  std::size_t bits_per_symbol_;
+  Real phase_ref_ = 0.0;
+  std::size_t symbol_index_ = 0;
+  /// Candidate (p2,p3,p4) triples and their data bits for this rate.
+  struct Candidate {
+    std::array<Real, 3> phases;
+    Bits data_bits;
+    std::array<Complex, kCckChipsPerSymbol> base_codeword;  // with p1 = 0
+  };
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace itb::wifi

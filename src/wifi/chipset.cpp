@@ -1,0 +1,66 @@
+#include "wifi/chipset.h"
+
+namespace itb::wifi {
+
+ChipsetModel ar5001g() {
+  return {.name = "Atheros AR5001G", .policy = SeedPolicy::kIncrementPerFrame};
+}
+
+ChipsetModel ar5007g() {
+  return {.name = "Atheros AR5007G", .policy = SeedPolicy::kIncrementPerFrame};
+}
+
+ChipsetModel ar9580() {
+  return {.name = "Atheros AR9580", .policy = SeedPolicy::kIncrementPerFrame};
+}
+
+ChipsetModel ath5k_fixed(std::uint8_t seed) {
+  return {.name = "ath5k (GEN_SCRAMBLER pinned)",
+          .policy = SeedPolicy::kFixed,
+          .fixed_seed = seed};
+}
+
+ChipsetModel generic_random() {
+  return {.name = "generic (spec-random)", .policy = SeedPolicy::kRandom};
+}
+
+SeedSequencer::SeedSequencer(const ChipsetModel& model, std::uint64_t rng_seed,
+                             std::uint8_t initial)
+    : model_(model), current_(initial), rng_(rng_seed) {
+  if (model_.policy == SeedPolicy::kFixed) current_ = model_.fixed_seed;
+  if (current_ == 0) current_ = 1;
+}
+
+std::uint8_t SeedSequencer::next() {
+  switch (model_.policy) {
+    case SeedPolicy::kFixed:
+      return model_.fixed_seed;
+    case SeedPolicy::kIncrementPerFrame: {
+      const std::uint8_t out = current_;
+      current_ = static_cast<std::uint8_t>(current_ % 127 + 1);
+      return out;
+    }
+    case SeedPolicy::kRandom: {
+      current_ = static_cast<std::uint8_t>(rng_.uniform_int(127) + 1);
+      return current_;
+    }
+  }
+  return 1;
+}
+
+SeedObservation classify_seeds(const std::vector<std::uint8_t>& seeds) {
+  SeedObservation out;
+  out.seeds = seeds;
+  if (seeds.size() < 2) return out;
+  bool inc = true;
+  bool fixed = true;
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    if (seeds[i] != static_cast<std::uint8_t>(seeds[i - 1] % 127 + 1)) inc = false;
+    if (seeds[i] != seeds[i - 1]) fixed = false;
+  }
+  out.looks_incrementing = inc;
+  out.looks_fixed = fixed;
+  return out;
+}
+
+}  // namespace itb::wifi

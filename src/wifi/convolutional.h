@@ -1,0 +1,52 @@
+// Rate-1/2 K=7 convolutional encoder (g0 = 133o, g1 = 171o), puncturing to
+// 2/3 and 3/4, and a hard-decision Viterbi decoder with erasure support.
+//
+// The paper's AM-downlink trick (§2.4) leans on the observation that both
+// generator polynomials have an odd number of taps, so an all-ones (or
+// all-zeros) input produces an all-ones (all-zeros) coded stream.
+#pragma once
+
+#include <cstdint>
+
+#include "phycommon/bits.h"
+
+namespace itb::wifi {
+
+using itb::phy::Bits;
+
+enum class CodeRate { kRate1_2, kRate2_3, kRate3_4 };
+
+constexpr double code_rate_value(CodeRate r) {
+  switch (r) {
+    case CodeRate::kRate1_2:
+      return 0.5;
+    case CodeRate::kRate2_3:
+      return 2.0 / 3.0;
+    case CodeRate::kRate3_4:
+      return 0.75;
+  }
+  return 0.0;
+}
+
+/// Encodes bits with the 802.11 K=7 convolutional code at rate 1/2.
+/// Output: a0 b0 a1 b1 ... (A = g0 = 133o, B = g1 = 171o). The encoder
+/// starts from the given state (bit i = input from i+1 steps ago).
+Bits convolutional_encode(const Bits& data, std::uint8_t initial_state = 0);
+
+/// Punctures a rate-1/2 coded stream to 2/3 or 3/4 (802.11-2016 17.3.5.7).
+Bits puncture(const Bits& coded, CodeRate rate);
+
+/// Inserts erasures (value 2) where punctured bits were removed, returning a
+/// stream aligned to the rate-1/2 trellis.
+Bits depuncture_with_erasures(const Bits& punctured, CodeRate rate);
+
+/// Hard-decision Viterbi decoder for the rate-1/2 mother code. Input may
+/// contain erasure marks (2) which contribute no branch metric.
+/// `data_len` is the number of information bits to recover.
+Bits viterbi_decode(const Bits& coded_with_erasures, std::size_t data_len,
+                    std::uint8_t initial_state = 0);
+
+/// Convenience: decode a punctured stream end-to-end.
+Bits decode_punctured(const Bits& punctured, CodeRate rate, std::size_t data_len);
+
+}  // namespace itb::wifi

@@ -1,0 +1,190 @@
+#include "wifi/dsss_rx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dsp/units.h"
+#include "phycommon/crc.h"
+#include "phycommon/lfsr.h"
+#include "wifi/barker.h"
+#include "wifi/cck.h"
+#include "wifi/dpsk.h"
+
+namespace itb::wifi {
+
+using itb::phy::DsssScrambler;
+
+DsssReceiver::DsssReceiver(const DsssRxConfig& cfg) : cfg_(cfg) {}
+
+namespace {
+
+/// Sum of Barker correlation magnitudes over `n_symbols` consecutive symbols
+/// starting at `offset` (in chips).
+Real lock_metric(const CVec& chips, std::size_t offset, std::size_t n_symbols) {
+  Real acc = 0.0;
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const std::size_t at = offset + s * kBarker.size();
+    if (at + kBarker.size() > chips.size()) break;
+    acc += barker_correlation(
+        std::span<const Complex>(chips).subspan(at, kBarker.size()));
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
+  // --- 1. Decimate to chip rate (mid-chip sampling) ------------------------
+  const std::size_t spc = cfg_.samples_per_chip;
+  CVec chips;
+  if (spc == 1) {
+    chips = samples;
+  } else {
+    chips.resize(samples.size() / spc);
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+      // Average the chip interval: acts as the chip matched filter.
+      Complex acc{0.0, 0.0};
+      for (std::size_t k = 0; k < spc; ++k) acc += samples[i * spc + k];
+      chips[i] = acc / static_cast<Real>(spc);
+    }
+  }
+  if (chips.size() < 2 * kBarker.size()) return std::nullopt;
+
+  // --- 2. Chip-timing acquisition over the 11 possible alignments ----------
+  const std::size_t probe_symbols = 16;
+  std::size_t best_off = 0;
+  Real best_metric = -1.0;
+  for (std::size_t off = 0; off < kBarker.size(); ++off) {
+    const Real m = lock_metric(chips, off, probe_symbols);
+    if (m > best_metric) {
+      best_metric = m;
+      best_off = off;
+    }
+  }
+  const Real per_symbol = best_metric / static_cast<Real>(probe_symbols);
+  const Real input_rms = itb::dsp::rms(std::span<const Complex>(chips).first(
+      std::min<std::size_t>(chips.size(), probe_symbols * kBarker.size())));
+  if (input_rms <= 0.0 ||
+      per_symbol < cfg_.acquisition_threshold * input_rms *
+                       static_cast<Real>(kBarker.size())) {
+    return std::nullopt;
+  }
+
+  // --- 3. Despread the preamble region and find the SFD --------------------
+  const std::size_t avail_symbols = (chips.size() - best_off) / kBarker.size();
+  const std::size_t search_symbols =
+      std::min(avail_symbols, cfg_.max_sync_search_bits);
+  CVec pre_symbols = despread(std::span<const Complex>(chips).subspan(
+      best_off, search_symbols * kBarker.size()));
+
+  // DBPSK-decode with the first symbol as reference, then descramble.
+  // The self-synchronizing descrambler flushes garbage within 7 bits.
+  const itb::phy::Bits raw =
+      dbpsk_decode(std::span<const Complex>(pre_symbols).subspan(1),
+                   pre_symbols[0]);
+  DsssScrambler desc(0x00);
+  const itb::phy::Bits descrambled = desc.descramble(raw);
+
+  const Bits sfd = sfd_bits();
+  std::size_t sfd_end = 0;
+  bool found = false;
+  for (std::size_t i = 7; i + sfd.size() <= descrambled.size(); ++i) {
+    if (std::equal(sfd.begin(), sfd.end(), descrambled.begin() + static_cast<std::ptrdiff_t>(i))) {
+      sfd_end = i + sfd.size();
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  // --- 4. PLCP header (48 bits at 1 Mbps) -----------------------------------
+  // Bit k of `descrambled` came from symbol k+1 of pre_symbols.
+  const std::size_t header_first_symbol = sfd_end + 1;
+  const std::size_t header_last_symbol = header_first_symbol + 48;
+  if (header_last_symbol > search_symbols) return std::nullopt;
+  if (sfd_end + 48 > descrambled.size()) return std::nullopt;
+
+  const Bits header_bits(descrambled.begin() + static_cast<std::ptrdiff_t>(sfd_end),
+                         descrambled.begin() + static_cast<std::ptrdiff_t>(sfd_end + 48));
+  const auto hdr = parse_plcp_header_bits(header_bits);
+
+  DsssRxResult out;
+  out.sync_offset_samples = best_off * spc;
+  out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
+      std::span<const Complex>(chips).subspan(best_off,
+                                              probe_symbols * kBarker.size())));
+  if (!hdr) {
+    out.header_ok = false;
+    return out;
+  }
+  out.header = *hdr;
+  out.header_ok = true;
+
+  // --- 5. PSDU at the payload rate ------------------------------------------
+  // The self-synchronizing descrambler's state is the last 7 scrambled bits,
+  // so feeding the raw preamble+header bits leaves it correctly positioned
+  // for the PSDU.
+  DsssScrambler psdu_desc(0x00);
+  for (std::size_t i = 0; i < sfd_end + 48 && i < raw.size(); ++i) {
+    psdu_desc.descramble_bit(raw[i]);
+  }
+
+  const std::size_t psdu_bytes = psdu_bytes_from_length(
+      hdr->rate, hdr->length_us, (hdr->service & 0x80) != 0);
+  const std::size_t psdu_bits_needed = psdu_bytes * 8;
+
+  const std::size_t data_chip_start =
+      best_off + header_last_symbol * kBarker.size();
+  const Complex header_tail_symbol = pre_symbols[header_last_symbol - 1];
+
+  Bits psdu_scrambled;
+  switch (hdr->rate) {
+    case DsssRate::k1Mbps:
+    case DsssRate::k2Mbps: {
+      const std::size_t bits_per_sym = hdr->rate == DsssRate::k1Mbps ? 1 : 2;
+      const std::size_t need_symbols = psdu_bits_needed / bits_per_sym;
+      if (data_chip_start + need_symbols * kBarker.size() > chips.size()) {
+        return out;  // truncated capture: header ok, no payload
+      }
+      const CVec data_symbols = despread(std::span<const Complex>(chips).subspan(
+          data_chip_start, need_symbols * kBarker.size()));
+      psdu_scrambled =
+          hdr->rate == DsssRate::k1Mbps
+              ? dbpsk_decode(data_symbols, header_tail_symbol)
+              : dqpsk_decode(data_symbols, header_tail_symbol);
+      break;
+    }
+    case DsssRate::k5_5Mbps:
+    case DsssRate::k11Mbps: {
+      const std::size_t bits_per_sym = hdr->rate == DsssRate::k5_5Mbps ? 4 : 8;
+      const std::size_t need_symbols = psdu_bits_needed / bits_per_sym;
+      if (data_chip_start + need_symbols * kCckChipsPerSymbol > chips.size()) {
+        return out;
+      }
+      CckDemodulator cck(hdr->rate);
+      psdu_scrambled = cck.demodulate(
+          std::span<const Complex>(chips).subspan(
+              data_chip_start, need_symbols * kCckChipsPerSymbol),
+          std::arg(header_tail_symbol));
+      break;
+    }
+  }
+
+  const Bits psdu_bits = psdu_desc.descramble(psdu_scrambled);
+  if (psdu_bits.size() % 8 != 0) return out;
+  out.psdu = itb::phy::bits_to_bytes_lsb_first(psdu_bits);
+
+  if (out.psdu.size() >= 4) {
+    const Bytes body(out.psdu.begin(), out.psdu.end() - 4);
+    const std::uint32_t expect = itb::phy::crc32_ieee(body);
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i) {
+      got |= static_cast<std::uint32_t>(out.psdu[out.psdu.size() - 4 + i]) << (8 * i);
+    }
+    out.fcs_ok = expect == got;
+  }
+  return out;
+}
+
+}  // namespace itb::wifi

@@ -1,0 +1,46 @@
+// 802.11b receiver chain: chip-timing acquisition, SFD search, PLCP header
+// decode, rate switch, despread/CCK decode, descramble, FCS check, RSSI.
+//
+// This models the commodity receiver (Intel Link 5300 in the paper) that the
+// tag's synthesized packets must satisfy — every PER data point in Fig. 10/11
+// comes from running waveforms through this class.
+#pragma once
+
+#include <optional>
+
+#include "dsp/types.h"
+#include "wifi/dsss_tx.h"
+#include "wifi/mac_frame.h"
+
+namespace itb::wifi {
+
+struct DsssRxConfig {
+  std::size_t samples_per_chip = 1;
+  /// Minimum normalized Barker correlation to declare chip lock (0..1).
+  Real acquisition_threshold = 0.5;
+  /// Maximum bits of SYNC to scan for the SFD before giving up.
+  std::size_t max_sync_search_bits = 400;
+};
+
+struct DsssRxResult {
+  Bytes psdu;
+  PlcpHeader header;
+  bool header_ok = false;
+  bool fcs_ok = false;   ///< MAC-level CRC32 over the PSDU
+  Real rssi_dbm = 0.0;   ///< measured from preamble sample power
+  std::size_t sync_offset_samples = 0;
+};
+
+class DsssReceiver {
+ public:
+  explicit DsssReceiver(const DsssRxConfig& cfg = {});
+
+  /// Attempts to find and decode one frame in the sample stream.
+  /// Returns nullopt when no preamble/SFD is found.
+  std::optional<DsssRxResult> receive(const CVec& samples) const;
+
+ private:
+  DsssRxConfig cfg_;
+};
+
+}  // namespace itb::wifi

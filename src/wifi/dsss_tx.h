@@ -1,0 +1,57 @@
+// 802.11b transmitter: PSDU -> scrambled bits -> Barker/CCK chips -> complex
+// baseband. This is both the reference Wi-Fi source for the coexistence
+// experiments and the symbol source the interscatter tag maps onto its
+// impedance states.
+#pragma once
+
+#include "dsp/types.h"
+#include "phycommon/bits.h"
+#include "wifi/plcp.h"
+#include "wifi/rates.h"
+
+namespace itb::wifi {
+
+using itb::dsp::Complex;
+using itb::dsp::CVec;
+using itb::dsp::Real;
+using itb::phy::Bits;
+using itb::phy::Bytes;
+
+struct DsssTxConfig {
+  DsssRate rate = DsssRate::k2Mbps;
+  std::size_t samples_per_chip = 1;  ///< 11 Mchip/s * spc = sample rate
+  /// Tag-mode framing (paper §2.3.3): replaces the 144 us long preamble with
+  /// a short 48-bit sync so the whole frame fits in a BLE payload window.
+  bool short_tag_preamble = false;
+
+  Real sample_rate_hz() const {
+    return 11e6 * static_cast<Real>(samples_per_chip);
+  }
+};
+
+/// Result of modulating one frame.
+struct DsssFrame {
+  CVec baseband;        ///< complex samples at 11 Mchip/s * samples_per_chip
+  CVec chips;           ///< pre-sampling chip stream (11 Mchip/s)
+  std::size_t psdu_bits = 0;
+  double duration_us = 0.0;
+};
+
+class DsssTransmitter {
+ public:
+  explicit DsssTransmitter(const DsssTxConfig& cfg = {});
+
+  /// Modulates a PSDU into a frame (PLCP preamble + header + data).
+  DsssFrame modulate(const Bytes& psdu) const;
+
+  /// The scrambled air bits of the PSDU portion (useful for the tag, which
+  /// runs the same scrambler in its baseband processor).
+  Bits scrambled_psdu_bits(const Bytes& psdu) const;
+
+  const DsssTxConfig& config() const { return cfg_; }
+
+ private:
+  DsssTxConfig cfg_;
+};
+
+}  // namespace itb::wifi

@@ -1,0 +1,39 @@
+#include "wifi/interleaver.h"
+
+#include <cassert>
+
+namespace itb::wifi {
+
+std::vector<std::size_t> interleave_map(std::size_t n_cbps, std::size_t n_bpsc) {
+  // Permutation from input index k to output index j, per 802.11-2016
+  // 17.3.5.7 equations:
+  //   i = (N_CBPS/16) * (k mod 16) + floor(k/16)
+  //   j = s*floor(i/s) + (i + N_CBPS - floor(16*i/N_CBPS)) mod s,
+  //   s = max(N_BPSC/2, 1)
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  std::vector<std::size_t> dest(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    const std::size_t i = (n_cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    dest[k] = j;
+  }
+  return dest;
+}
+
+Bits interleave(const Bits& symbol_bits, std::size_t n_cbps, std::size_t n_bpsc) {
+  assert(symbol_bits.size() == n_cbps);
+  const auto dest = interleave_map(n_cbps, n_bpsc);
+  Bits out(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) out[dest[k]] = symbol_bits[k];
+  return out;
+}
+
+Bits deinterleave(const Bits& symbol_bits, std::size_t n_cbps, std::size_t n_bpsc) {
+  assert(symbol_bits.size() == n_cbps);
+  const auto dest = interleave_map(n_cbps, n_bpsc);
+  Bits out(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) out[k] = symbol_bits[dest[k]];
+  return out;
+}
+
+}  // namespace itb::wifi

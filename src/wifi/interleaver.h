@@ -1,0 +1,24 @@
+// 802.11a/g per-symbol block interleaver (17.3.5.7): two permutations over
+// the N_CBPS coded bits of one OFDM symbol.
+//
+// Relevant paper property (§2.4): a stream of identical bits is a fixed
+// point of any permutation, so the AM trick survives interleaving untouched.
+#pragma once
+
+#include "phycommon/bits.h"
+
+namespace itb::wifi {
+
+using itb::phy::Bits;
+
+/// Interleaves one OFDM symbol's worth of coded bits.
+/// `n_cbps` = coded bits per symbol, `n_bpsc` = bits per subcarrier.
+Bits interleave(const Bits& symbol_bits, std::size_t n_cbps, std::size_t n_bpsc);
+
+/// Inverse permutation.
+Bits deinterleave(const Bits& symbol_bits, std::size_t n_cbps, std::size_t n_bpsc);
+
+/// The permutation as an index map: out[j] = in[perm[j]].
+std::vector<std::size_t> interleave_map(std::size_t n_cbps, std::size_t n_bpsc);
+
+}  // namespace itb::wifi

@@ -1,0 +1,54 @@
+// Minimal 802.11 MAC framing: data frames with a 24-byte header and CRC-32
+// FCS, plus the control frames (RTS / CTS / CTS-to-Self) the paper's
+// channel-reservation optimizations use (§2.3.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "phycommon/bits.h"
+
+namespace itb::wifi {
+
+using itb::phy::Bytes;
+using MacAddress = std::array<std::uint8_t, 6>;
+
+inline constexpr MacAddress kBroadcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+
+enum class FrameType : std::uint8_t {
+  kData,
+  kRts,
+  kCts,
+  kCtsToSelf,  ///< a CTS addressed to the sender itself
+  kAck,
+};
+
+struct MacFrame {
+  FrameType type = FrameType::kData;
+  std::uint16_t duration_us = 0;
+  MacAddress addr1 = kBroadcast;  ///< receiver
+  MacAddress addr2{};             ///< transmitter (absent in CTS/ACK)
+  MacAddress addr3{};             ///< BSSID (data frames)
+  std::uint16_t sequence = 0;
+  Bytes body;  ///< payload for data frames
+};
+
+/// Serializes a frame into a PSDU (header + body + FCS).
+Bytes serialize(const MacFrame& frame);
+
+/// Parses a PSDU; nullopt on truncation. `fcs_ok` reports CRC-32 validity.
+struct ParsedMacFrame {
+  MacFrame frame;
+  bool fcs_ok = false;
+};
+std::optional<ParsedMacFrame> parse(const Bytes& psdu);
+
+/// PSDU sizes (bytes) of the fixed control frames.
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+inline constexpr std::size_t kAckBytes = 14;
+inline constexpr std::size_t kDataHeaderBytes = 24;
+inline constexpr std::size_t kFcsBytes = 4;
+
+}  // namespace itb::wifi

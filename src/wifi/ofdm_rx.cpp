@@ -1,0 +1,178 @@
+#include "wifi/ofdm_rx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "dsp/units.h"
+#include "phycommon/lfsr.h"
+#include "wifi/interleaver.h"
+
+namespace itb::wifi {
+
+using itb::dsp::Complex;
+using itb::dsp::Real;
+
+OfdmReceiver::OfdmReceiver(const OfdmRxConfig& cfg) : cfg_(cfg) {}
+
+std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
+  // --- 1. Locate the LTF by cross-correlation ------------------------------
+  const CVec ltf = long_training_field();
+  const CVec ltf_period(ltf.begin() + 32, ltf.begin() + 32 + 64);
+  if (samples.size() < 320 + kSymbolSamples) return std::nullopt;
+
+  const CVec corr = itb::dsp::cross_correlate(samples, ltf_period);
+  // Find the strongest correlation peak pair spaced 64 samples apart.
+  std::size_t best = 0;
+  Real best_mag = 0.0;
+  for (std::size_t i = 0; i + 64 < corr.size(); ++i) {
+    const Real m = std::abs(corr[i]) + std::abs(corr[i + 64]);
+    if (m > best_mag) {
+      best_mag = m;
+      best = i;
+    }
+  }
+  const Real norm = itb::dsp::normalized_peak(samples, ltf_period, best);
+  if (norm < cfg_.detection_threshold) return std::nullopt;
+
+  // `best` points at the first full LTF period; frame starts 160+32 earlier.
+  if (best < 192) return std::nullopt;
+  OfdmRxResult out;
+  out.frame_start = best - 192;
+
+  // --- 2. Channel estimation from the two LTF periods ----------------------
+  const auto seq = ltf_sequence();
+  const auto bin = [](int k) {
+    return k >= 0 ? static_cast<std::size_t>(k)
+                  : static_cast<std::size_t>(64 + k);
+  };
+  CVec chan(kFftSize, Complex{1.0, 0.0});
+  {
+    CVec est_acc(kFftSize, Complex{0.0, 0.0});
+    for (int rep = 0; rep < 2; ++rep) {
+      CVec t(samples.begin() + static_cast<std::ptrdiff_t>(best + 64 * rep),
+             samples.begin() + static_cast<std::ptrdiff_t>(best + 64 * (rep + 1)));
+      const Real scale = std::sqrt(52.0) / static_cast<Real>(kFftSize);
+      for (Complex& v : t) v *= scale;
+      const CVec f = itb::dsp::fft(t);
+      for (int k = -26; k <= 26; ++k) {
+        const Real ref = seq[static_cast<std::size_t>(k + 26)];
+        if (ref == 0.0) continue;
+        est_acc[bin(k)] += f[bin(k)] / ref;
+      }
+    }
+    for (std::size_t i = 0; i < kFftSize; ++i) {
+      if (std::abs(est_acc[i]) > 1e-12) chan[i] = est_acc[i] / 2.0;
+    }
+  }
+
+  out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
+      std::span<const Complex>(samples).subspan(best, 128)));
+
+  // Equalization helper: extract + per-subcarrier divide.
+  const auto equalized_symbol = [&](std::size_t start,
+                                    std::size_t pilot_index) -> CVec {
+    CVec sym(samples.begin() + static_cast<std::ptrdiff_t>(start),
+             samples.begin() + static_cast<std::ptrdiff_t>(start + kSymbolSamples));
+    // Equalize in frequency domain: redo extract with channel division.
+    CVec time(sym.begin() + kCpLen, sym.end());
+    const Real scale = std::sqrt(52.0) / static_cast<Real>(kFftSize);
+    for (Complex& v : time) v *= scale;
+    CVec freq = itb::dsp::fft(time);
+    for (int k = -26; k <= 26; ++k) {
+      const std::size_t b = bin(k);
+      if (std::abs(chan[b]) > 1e-9) freq[b] /= chan[b];
+    }
+    // Pilot common-phase correction.
+    const Real pol = pilot_polarity(pilot_index);
+    Complex pacc{0.0, 0.0};
+    for (std::size_t p = 0; p < kPilotCarriers; ++p) {
+      const Complex expect{pol * kPilotBase[p], 0.0};
+      pacc += freq[bin(kPilotIndices[p])] * std::conj(expect);
+    }
+    Complex rot{1.0, 0.0};
+    if (std::abs(pacc) > 1e-12) rot = std::conj(pacc / std::abs(pacc));
+    CVec data(kDataCarriers);
+    for (std::size_t i = 0; i < kDataCarriers; ++i) {
+      data[i] = freq[bin(data_subcarrier_index(i))] * rot;
+    }
+    return data;
+  };
+
+  // --- 3. SIGNAL field ------------------------------------------------------
+  const std::size_t signal_start = best + 128;
+  if (signal_start + kSymbolSamples > samples.size()) return std::nullopt;
+  {
+    const CVec sig_data = equalized_symbol(signal_start, 0);
+    const itb::phy::Bits inter = qam_demodulate(sig_data, Modulation::kBpsk);
+    const itb::phy::Bits coded = deinterleave(inter, 48, 1);
+    const itb::phy::Bits field = viterbi_decode(coded, 24);
+    unsigned ones = 0;
+    for (int i = 0; i < 17; ++i) ones += field[i];
+    if ((ones & 1u) != field[17]) {
+      out.signal_ok = false;
+      return out;
+    }
+    unsigned rate_bits = 0;
+    for (int i = 0; i < 4; ++i) rate_bits = (rate_bits << 1) | field[i];
+    bool rate_found = false;
+    for (OfdmRate r : {OfdmRate::k6, OfdmRate::k9, OfdmRate::k12, OfdmRate::k18,
+                       OfdmRate::k24, OfdmRate::k36, OfdmRate::k48, OfdmRate::k54}) {
+      if (ofdm_params(r).signal_rate_bits == rate_bits) {
+        out.rate = r;
+        rate_found = true;
+        break;
+      }
+    }
+    if (!rate_found) {
+      out.signal_ok = false;
+      return out;
+    }
+    std::size_t length = 0;
+    for (int i = 0; i < 12; ++i) length |= static_cast<std::size_t>(field[5 + i]) << i;
+    out.signal_ok = true;
+
+    // --- 4. DATA symbols ----------------------------------------------------
+    const auto& p = ofdm_params(out.rate);
+    // The SIGNAL LENGTH we transmit in this codebase is the DATA field byte
+    // count (see OfdmTransmitter); symbols follow directly.
+    const std::size_t data_bits = length * 8;
+    const std::size_t num_symbols = data_bits / p.n_dbps;
+    itb::phy::Bits punctured;
+    punctured.reserve(num_symbols * p.n_cbps);
+    std::size_t start = signal_start + kSymbolSamples;
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      if (start + kSymbolSamples > samples.size()) return out;
+      const CVec data = equalized_symbol(start, s + 1);
+      const itb::phy::Bits inter = qam_demodulate(data, p.modulation);
+      const itb::phy::Bits sym = deinterleave(inter, p.n_cbps, p.n_bpsc);
+      punctured.insert(punctured.end(), sym.begin(), sym.end());
+      start += kSymbolSamples;
+    }
+
+    const itb::phy::Bits scrambled =
+        decode_punctured(punctured, p.code_rate, data_bits);
+
+    // --- 5. Descramble: recover the seed from the SERVICE field ------------
+    // The first 7 data bits were zeros pre-scrambling, so the first 7
+    // scrambled bits are the scrambler stream itself.
+    const std::uint8_t seed = itb::phy::OfdmScrambler::seed_from_first_bits(
+        std::span<const std::uint8_t>(scrambled).first(7));
+    out.scrambler_seed = seed;
+    if (seed == 0) return out;
+    itb::phy::OfdmScrambler descrambler(seed);
+    const itb::phy::Bits data_field = descrambler.process(scrambled);
+
+    // PSDU sits after the 16 SERVICE bits; strip tail+pad.
+    if (data_field.size() < 16 + 6) return out;
+    const std::size_t psdu_bits = (data_field.size() - 16 - 6) / 8 * 8;
+    const itb::phy::Bits psdu(data_field.begin() + 16,
+                              data_field.begin() + 16 + static_cast<std::ptrdiff_t>(psdu_bits));
+    out.psdu = itb::phy::bits_to_bytes_lsb_first(psdu);
+  }
+  return out;
+}
+
+}  // namespace itb::wifi

@@ -1,0 +1,41 @@
+// 802.11a/g OFDM receiver: preamble detection, LTF channel estimation,
+// equalization, demapping, Viterbi decoding and descrambling.
+//
+// Besides closing the TX loop in tests, this class reproduces the paper's
+// §4.4 methodology: it exposes the recovered scrambler seed of each frame
+// (via the SERVICE field), which is how the authors tracked chipset seed
+// policies with the gr-ieee802-11 GNURadio receiver.
+#pragma once
+
+#include <optional>
+
+#include "wifi/ofdm_tx.h"
+
+namespace itb::wifi {
+
+struct OfdmRxResult {
+  Bytes psdu;
+  OfdmRate rate = OfdmRate::k6;
+  std::uint8_t scrambler_seed = 0;  ///< recovered from the SERVICE field
+  bool signal_ok = false;
+  itb::dsp::Real rssi_dbm = 0.0;
+  std::size_t frame_start = 0;      ///< sample index of the STF start
+};
+
+struct OfdmRxConfig {
+  /// Normalized LTF correlation needed to declare a frame (0..1).
+  itb::dsp::Real detection_threshold = 0.55;
+};
+
+class OfdmReceiver {
+ public:
+  explicit OfdmReceiver(const OfdmRxConfig& cfg = {});
+
+  /// Finds and decodes one frame. Returns nullopt when no preamble is found.
+  std::optional<OfdmRxResult> receive(const CVec& samples) const;
+
+ private:
+  OfdmRxConfig cfg_;
+};
+
+}  // namespace itb::wifi

@@ -1,0 +1,76 @@
+#include "wifi/ofdm_tx.h"
+
+#include <cassert>
+
+#include "phycommon/lfsr.h"
+#include "wifi/interleaver.h"
+
+namespace itb::wifi {
+
+OfdmTransmitter::OfdmTransmitter(const OfdmTxConfig& cfg) : cfg_(cfg) {
+  assert((cfg_.scrambler_seed & 0x7F) != 0);
+}
+
+std::size_t OfdmTransmitter::data_field_bits(std::size_t psdu_bytes) const {
+  const auto& p = ofdm_params(cfg_.rate);
+  const std::size_t payload_bits = 16 + 8 * psdu_bytes + 6;  // SERVICE+PSDU+tail
+  const std::size_t symbols = (payload_bits + p.n_dbps - 1) / p.n_dbps;
+  return symbols * p.n_dbps;
+}
+
+OfdmTxResult OfdmTransmitter::transmit(const Bytes& psdu) const {
+  const std::size_t total_bits = data_field_bits(psdu.size());
+  Bits data(total_bits, 0);
+  // SERVICE: 16 zero bits (first 7 are the scrambler-init field).
+  const Bits psdu_bits = itb::phy::bytes_to_bits_lsb_first(psdu);
+  std::copy(psdu_bits.begin(), psdu_bits.end(), data.begin() + 16);
+  // Tail + pad already zero.
+  return transmit_data_bits(data);
+}
+
+OfdmTxResult OfdmTransmitter::transmit_data_bits(const Bits& data_field) const {
+  const auto& p = ofdm_params(cfg_.rate);
+  assert(data_field.size() % p.n_dbps == 0);
+  const std::size_t num_symbols = data_field.size() / p.n_dbps;
+
+  // Scramble, then zero the 6 tail bits (17.3.5.3): they sit right after the
+  // SERVICE+PSDU span. For the raw path we scramble everything and do not
+  // re-zero (the AM shaper accounts for tails itself when it matters).
+  itb::phy::OfdmScrambler scrambler(cfg_.scrambler_seed);
+  Bits scrambled = scrambler.process(data_field);
+
+  OfdmTxResult out;
+  out.scrambled_bits = scrambled;
+  out.num_data_symbols = num_symbols;
+
+  if (cfg_.include_preamble) {
+    const CVec stf = short_training_field();
+    const CVec ltf = long_training_field();
+    out.baseband.insert(out.baseband.end(), stf.begin(), stf.end());
+    out.baseband.insert(out.baseband.end(), ltf.begin(), ltf.end());
+    const CVec sig = build_signal_symbol(cfg_.rate, data_field.size() / 8);
+    out.baseband.insert(out.baseband.end(), sig.begin(), sig.end());
+  }
+
+  // Encode the entire DATA field once (the code runs across symbol
+  // boundaries), then puncture and split into symbols.
+  const Bits coded_all = convolutional_encode(scrambled);
+  const Bits punctured = puncture(coded_all, p.code_rate);
+  assert(punctured.size() == num_symbols * p.n_cbps);
+
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    const Bits sym(punctured.begin() + static_cast<std::ptrdiff_t>(s * p.n_cbps),
+                   punctured.begin() + static_cast<std::ptrdiff_t>((s + 1) * p.n_cbps));
+    const Bits inter = interleave(sym, p.n_cbps, p.n_bpsc);
+    const CVec constellation = qam_modulate(inter, p.modulation);
+    // Data symbols start at pilot index 1 (SIGNAL is index 0).
+    const CVec sym_samples = build_ofdm_symbol(constellation, s + 1);
+    out.baseband.insert(out.baseband.end(), sym_samples.begin(), sym_samples.end());
+  }
+
+  out.duration_us =
+      static_cast<double>(out.baseband.size()) / 20.0;  // 20 Msps
+  return out;
+}
+
+}  // namespace itb::wifi

@@ -1,0 +1,107 @@
+#include "wifi/plcp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "phycommon/crc.h"
+
+namespace itb::wifi {
+
+Bits sfd_bits() {
+  // 0xF3A0 sent LSB first.
+  return itb::phy::uint_to_bits_lsb_first(0xF3A0, 16);
+}
+
+std::uint8_t PlcpHeader::service_for(DsssRate r, std::size_t psdu_bytes) {
+  std::uint8_t service = 0x04;  // bit 2: locked clocks
+  if (r == DsssRate::k5_5Mbps || r == DsssRate::k11Mbps) {
+    service |= 0x08;  // bit 3: CCK modulation
+  }
+  if (r == DsssRate::k11Mbps) {
+    // Length extension (bit 7): set when ceil(8*N/11) - 8*N/11 >= 8/11.
+    // Integer form (exact at the boundary): 11*ceil(8N/11) - 8N >= 8.
+    const std::size_t bits = psdu_bytes * 8;
+    const std::size_t length_us = (bits + 10) / 11;
+    if (length_us * 11 - bits >= 8) service |= 0x80;
+  }
+  return service;
+}
+
+std::uint16_t length_field_us(DsssRate r, std::size_t psdu_bytes) {
+  const double us = static_cast<double>(psdu_bytes) * 8.0 / rate_mbps(r);
+  return static_cast<std::uint16_t>(std::ceil(us));
+}
+
+std::size_t psdu_bytes_from_length(DsssRate r, std::uint16_t length_us,
+                                   bool length_extension) {
+  std::size_t bytes;
+  switch (r) {
+    case DsssRate::k1Mbps:
+      bytes = length_us / 8;
+      break;
+    case DsssRate::k2Mbps:
+      bytes = length_us * 2 / 8;
+      break;
+    case DsssRate::k5_5Mbps:
+      bytes = length_us * 11 / 16;  // 5.5 Mbps = 11 bits per 2 us
+      break;
+    case DsssRate::k11Mbps:
+      bytes = length_us * 11 / 8;
+      if (length_extension && bytes > 0) bytes -= 1;
+      break;
+    default:
+      bytes = 0;
+      break;
+  }
+  return bytes;
+}
+
+Bits build_plcp_header_bits(const PlcpHeader& hdr) {
+  Bits bits;
+  const Bits signal = itb::phy::uint_to_bits_lsb_first(signal_field(hdr.rate), 8);
+  const Bits service = itb::phy::uint_to_bits_lsb_first(hdr.service, 8);
+  const Bits length = itb::phy::uint_to_bits_lsb_first(hdr.length_us, 16);
+  bits.insert(bits.end(), signal.begin(), signal.end());
+  bits.insert(bits.end(), service.begin(), service.end());
+  bits.insert(bits.end(), length.begin(), length.end());
+  const std::uint16_t crc = itb::phy::crc16_plcp(bits);
+  const Bits crc_bits = itb::phy::uint_to_bits_msb_first(crc, 16);
+  bits.insert(bits.end(), crc_bits.begin(), crc_bits.end());
+  return bits;
+}
+
+std::optional<PlcpHeader> parse_plcp_header_bits(const Bits& bits) {
+  if (bits.size() != 48) return std::nullopt;
+  const Bits body(bits.begin(), bits.begin() + 32);
+  const std::uint16_t expect = itb::phy::crc16_plcp(body);
+  const auto got = static_cast<std::uint16_t>(itb::phy::bits_to_uint_msb_first(
+      std::span<const std::uint8_t>(bits).subspan(32, 16)));
+  if (expect != got) return std::nullopt;
+
+  PlcpHeader hdr;
+  const auto signal = static_cast<unsigned>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(0, 8)));
+  switch (signal) {
+    case 0x0A:
+      hdr.rate = DsssRate::k1Mbps;
+      break;
+    case 0x14:
+      hdr.rate = DsssRate::k2Mbps;
+      break;
+    case 0x37:
+      hdr.rate = DsssRate::k5_5Mbps;
+      break;
+    case 0x6E:
+      hdr.rate = DsssRate::k11Mbps;
+      break;
+    default:
+      return std::nullopt;
+  }
+  hdr.service = static_cast<std::uint8_t>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(8, 8)));
+  hdr.length_us = static_cast<std::uint16_t>(itb::phy::bits_to_uint_lsb_first(
+      std::span<const std::uint8_t>(bits).subspan(16, 16)));
+  return hdr;
+}
+
+}  // namespace itb::wifi

@@ -1,0 +1,49 @@
+// 802.11b PLCP: long-preamble SYNC/SFD, header (SIGNAL, SERVICE, LENGTH,
+// CRC-16) and the scrambling that covers the whole frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phycommon/bits.h"
+#include "wifi/rates.h"
+
+namespace itb::wifi {
+
+using itb::phy::Bits;
+
+/// Long preamble: 128 ones (scrambled) then the 16-bit SFD.
+inline constexpr std::size_t kSyncBits = 128;
+
+/// SFD field value 0xF3A0, transmitted LSB first (16.2.3.3).
+Bits sfd_bits();
+
+/// Scrambler seed for the long preamble (16.2.4): 0b1101100.
+inline constexpr std::uint8_t kLongPreambleScramblerSeed = 0x6C;
+
+struct PlcpHeader {
+  DsssRate rate = DsssRate::k2Mbps;
+  std::uint8_t service = 0x00;
+  std::uint16_t length_us = 0;  ///< PSDU air time in microseconds
+
+  /// SERVICE bit 3: modulation selection (1 = CCK); bit 7: length extension
+  /// used at 11 Mbps when the us count is ambiguous.
+  static std::uint8_t service_for(DsssRate r, std::size_t psdu_bytes);
+};
+
+/// Builds the 48 unscrambled header bits (SIGNAL, SERVICE, LENGTH, CRC16).
+Bits build_plcp_header_bits(const PlcpHeader& hdr);
+
+/// Parses 48 unscrambled header bits; nullopt if the CRC fails or the
+/// SIGNAL value is unknown.
+std::optional<PlcpHeader> parse_plcp_header_bits(const Bits& bits);
+
+/// LENGTH field for a PSDU (ceil of air time in us; 11 Mbps length-extension
+/// handling per 16.2.3.5).
+std::uint16_t length_field_us(DsssRate r, std::size_t psdu_bytes);
+
+/// PSDU byte count back from a LENGTH field.
+std::size_t psdu_bytes_from_length(DsssRate r, std::uint16_t length_us,
+                                   bool length_extension);
+
+}  // namespace itb::wifi

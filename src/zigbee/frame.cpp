@@ -1,0 +1,80 @@
+#include "zigbee/frame.h"
+
+#include <cassert>
+
+#include "dsp/units.h"
+#include "phycommon/crc.h"
+
+namespace itb::zigbee {
+
+Bytes build_ppdu(const Bytes& mac_payload) {
+  assert(mac_payload.size() + 2 <= kMaxPsduBytes);
+  Bytes out;
+  out.insert(out.end(), 4, 0x00);  // preamble
+  out.push_back(kSfd);
+  out.push_back(static_cast<std::uint8_t>(mac_payload.size() + 2));  // PHR
+  out.insert(out.end(), mac_payload.begin(), mac_payload.end());
+  const std::uint16_t fcs = itb::phy::crc16_802154(mac_payload);
+  out.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  return out;
+}
+
+ZigbeeTxResult zigbee_transmit(const Bytes& mac_payload, const OqpskConfig& cfg) {
+  ZigbeeTxResult out;
+  out.ppdu = build_ppdu(mac_payload);
+  OqpskModulator mod(cfg);
+  out.baseband = mod.modulate_bytes(out.ppdu);
+  out.duration_us = static_cast<double>(out.ppdu.size()) * 2.0 /
+                    (kSymbolRateHz / 1e6);  // 2 symbols per byte
+  return out;
+}
+
+std::optional<ZigbeeRxResult> zigbee_receive(const CVec& samples,
+                                             const OqpskConfig& cfg) {
+  OqpskDemodulator demod(cfg);
+  const std::size_t spc = cfg.samples_per_chip;
+
+  // Joint search over carrier phase (coherent O-QPSK needs phase recovery;
+  // 16 trial rotations cover the constellation at 22.5 deg granularity) and
+  // sample timing within one chip period, keyed on finding the SFD.
+  for (std::size_t rot = 0; rot < 16; ++rot) {
+    const itb::dsp::Real theta =
+        itb::dsp::kTwoPi * static_cast<itb::dsp::Real>(rot) / 16.0;
+    const Complex derot{std::cos(theta), -std::sin(theta)};
+    CVec rotated(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      rotated[i] = samples[i] * derot;
+    }
+  for (std::size_t phase = 0; phase < 2 * spc; ++phase) {
+    const Bits chips = demod.demodulate_chips(rotated, phase);
+    const Bytes decoded = demod.chips_to_bytes(chips);
+    // Look for preamble + SFD in the decoded byte stream.
+    for (std::size_t i = 0; i + 6 < decoded.size(); ++i) {
+      if (decoded[i] == 0x00 && decoded[i + 1] == 0x00 &&
+          decoded[i + 2] == 0x00 && decoded[i + 3] == 0x00 &&
+          decoded[i + 4] == kSfd) {
+        const std::size_t phr_at = i + 5;
+        const std::size_t len = decoded[phr_at];
+        if (len < 2 || phr_at + 1 + len > decoded.size()) continue;
+
+        ZigbeeRxResult out;
+        out.sfd_symbol_index = (i + 4) * 2;
+        out.payload.assign(decoded.begin() + static_cast<std::ptrdiff_t>(phr_at + 1),
+                           decoded.begin() + static_cast<std::ptrdiff_t>(phr_at + 1 + len - 2));
+        const std::uint16_t expect = itb::phy::crc16_802154(out.payload);
+        const std::uint16_t got = static_cast<std::uint16_t>(
+            decoded[phr_at + 1 + len - 2] | (decoded[phr_at + 1 + len - 1] << 8));
+        out.fcs_ok = expect == got;
+        out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
+            std::span<const Complex>(samples).first(
+                std::min<std::size_t>(samples.size(), 1024))));
+        return out;
+      }
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+}  // namespace itb::zigbee

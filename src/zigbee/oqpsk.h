@@ -1,0 +1,82 @@
+// 802.15.4 2.4 GHz O-QPSK DSSS PHY (the "ZigBee" PHY the paper targets in
+// §4.5): 250 kbps, 4-bit symbols spread to 32-chip PN sequences at 2 Mchip/s,
+// half-sine-shaped offset QPSK.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.h"
+#include "phycommon/bits.h"
+
+namespace itb::zigbee {
+
+using itb::dsp::Complex;
+using itb::dsp::CVec;
+using itb::dsp::Real;
+using itb::phy::Bits;
+using itb::phy::Bytes;
+
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr Real kChipRateHz = 2e6;
+inline constexpr Real kSymbolRateHz = 62.5e3;  // 2 Mchip/s / 32
+inline constexpr double kBitsPerSymbol = 4.0;  // 250 kbps
+
+/// Chip sequence (32 chips, chip 0 first) for data symbol 0..15
+/// (IEEE 802.15.4-2011 Table 73). Symbols 8..15 are the conjugate-rotated
+/// variants of 0..7.
+const std::array<std::uint32_t, 16>& chip_table();
+
+/// Expands a symbol (0..15) into 32 chips (0/1 values).
+Bits symbol_chips(unsigned symbol);
+
+/// O-QPSK modulator: even chips on I, odd chips on Q, half-sine pulse
+/// shaping, Q delayed by half a chip period.
+struct OqpskConfig {
+  std::size_t samples_per_chip = 4;  ///< sample rate = 2 MHz * spc
+  Real sample_rate_hz() const {
+    return kChipRateHz * static_cast<Real>(samples_per_chip);
+  }
+};
+
+class OqpskModulator {
+ public:
+  explicit OqpskModulator(const OqpskConfig& cfg = {});
+
+  /// Modulates a chip stream (multiple of 2 chips) to complex baseband.
+  CVec modulate_chips(const Bits& chips) const;
+
+  /// Modulates bytes: each byte = low nibble symbol first.
+  CVec modulate_bytes(const Bytes& bytes) const;
+
+  const OqpskConfig& config() const { return cfg_; }
+
+ private:
+  OqpskConfig cfg_;
+  itb::dsp::RVec pulse_;
+};
+
+/// Chip-correlation demodulator: recovers symbols by correlating received
+/// chips against the 16 PN sequences (soft chip values, hard decisions).
+class OqpskDemodulator {
+ public:
+  explicit OqpskDemodulator(const OqpskConfig& cfg = {});
+
+  /// Demodulates baseband to hard chip decisions. `offset_samples` points at
+  /// the first sample of chip 0.
+  Bits demodulate_chips(const CVec& samples, std::size_t offset_samples = 0) const;
+
+  /// Maps 32-chip blocks to the best-matching symbols (0..15) and packs
+  /// nibbles into bytes (low nibble first).
+  Bytes chips_to_bytes(const Bits& chips) const;
+
+  /// Minimum chip-pattern Hamming distance of the last chips_to_bytes call's
+  /// worst symbol (diagnostic for link quality / LQI modeling).
+  std::size_t last_worst_distance() const { return last_worst_distance_; }
+
+ private:
+  OqpskConfig cfg_;
+  mutable std::size_t last_worst_distance_ = 0;
+};
+
+}  // namespace itb::zigbee

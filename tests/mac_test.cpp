@@ -1,0 +1,192 @@
+// Tests for the DCF coexistence simulator (Fig. 12 substrate), the channel
+// reservation schemes (§2.3.3) and the query-reply protocol (§2.5).
+#include <gtest/gtest.h>
+
+#include "mac/dcf.h"
+#include "mac/query_reply.h"
+#include "mac/reservation.h"
+
+namespace itb::mac {
+namespace {
+
+// --- DCF -----------------------------------------------------------------------
+
+TEST(Dcf, BaselineThroughputInIperfRange) {
+  DcfConfig cfg;
+  InterfererConfig none;
+  const DcfResult r = simulate_dcf(cfg, none, 2.0, 1);
+  // A saturated 36->54 Mbps 802.11g TCP flow lands around 18-26 Mbps.
+  EXPECT_GT(r.throughput_mbps, 15.0);
+  EXPECT_LT(r.throughput_mbps, 30.0);
+  EXPECT_LT(r.collision_rate, 0.01);
+}
+
+TEST(Dcf, OffChannelInterfererIsHarmless) {
+  DcfConfig cfg;
+  InterfererConfig ssb;
+  ssb.packets_per_second = 1000.0;
+  ssb.on_victim_channel = false;  // SSB: packets land on channel 11
+  InterfererConfig none;
+  const DcfResult with = simulate_dcf(cfg, ssb, 2.0, 2);
+  const DcfResult without = simulate_dcf(cfg, none, 2.0, 2);
+  EXPECT_NEAR(with.throughput_mbps, without.throughput_mbps, 0.5);
+}
+
+TEST(Dcf, OnChannelMirrorDegradesThroughput) {
+  DcfConfig cfg;
+  InterfererConfig dsb;
+  dsb.packets_per_second = 1000.0;
+  dsb.on_victim_channel = true;  // DSB mirror copy lands on channel 6
+  InterfererConfig none;
+  const DcfResult with = simulate_dcf(cfg, dsb, 2.0, 3);
+  const DcfResult without = simulate_dcf(cfg, none, 2.0, 3);
+  EXPECT_LT(with.throughput_mbps, 0.75 * without.throughput_mbps);
+  EXPECT_GT(with.collision_rate, 0.1);
+}
+
+TEST(Dcf, LowRateInterfererNegligible) {
+  // Paper Fig. 12: at 50 pkts/s even the DSB mirror barely dents iperf.
+  DcfConfig cfg;
+  InterfererConfig dsb;
+  dsb.packets_per_second = 50.0;
+  dsb.on_victim_channel = true;
+  InterfererConfig none;
+  const DcfResult with = simulate_dcf(cfg, dsb, 2.0, 4);
+  const DcfResult without = simulate_dcf(cfg, none, 2.0, 4);
+  EXPECT_GT(with.throughput_mbps, 0.85 * without.throughput_mbps);
+}
+
+TEST(Dcf, DegradationGrowsWithRate) {
+  DcfConfig cfg;
+  double prev = 1e9;
+  for (const double rate : {50.0, 650.0, 1000.0}) {
+    InterfererConfig i;
+    i.packets_per_second = rate;
+    i.on_victim_channel = true;
+    const DcfResult r = simulate_dcf(cfg, i, 2.0, 5);
+    EXPECT_LT(r.throughput_mbps, prev + 0.8);
+    prev = r.throughput_mbps;
+  }
+}
+
+TEST(Dcf, DeterministicForSameSeed) {
+  DcfConfig cfg;
+  InterfererConfig i;
+  i.packets_per_second = 650.0;
+  i.on_victim_channel = true;
+  const DcfResult a = simulate_dcf(cfg, i, 1.0, 42);
+  const DcfResult b = simulate_dcf(cfg, i, 1.0, 42);
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.frames_ok, b.frames_ok);
+}
+
+// --- reservation (§2.3.3) -----------------------------------------------------------
+
+TEST(Reservation, NoSchemeSuffersAmbientCollisions) {
+  ReservationConfig cfg;
+  cfg.scheme = ReservationScheme::kNone;
+  cfg.channel_busy_probability = 0.3;
+  const ReservationResult r = evaluate_reservation(cfg, 4000, 1);
+  EXPECT_NEAR(r.collision_fraction, 0.3, 0.03);
+}
+
+TEST(Reservation, CtsToSelfEliminatesCollisions) {
+  ReservationConfig cfg;
+  cfg.scheme = ReservationScheme::kCtsToSelf;
+  const ReservationResult r = evaluate_reservation(cfg, 1000, 2);
+  EXPECT_DOUBLE_EQ(r.collision_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.clean_transmissions_per_event, 3.0);
+}
+
+TEST(Reservation, TagRtsProtectsButCostsControl) {
+  ReservationConfig cfg;
+  cfg.scheme = ReservationScheme::kTagRts;
+  const ReservationResult r = evaluate_reservation(cfg, 4000, 3);
+  EXPECT_DOUBLE_EQ(r.collision_fraction, 0.0);  // protected or silent
+  EXPECT_GT(r.control_overhead_us, 0.0);
+  EXPECT_LT(r.clean_transmissions_per_event, 2.01);
+}
+
+TEST(Reservation, DataAsRtsBeatsPlainRtsOnGoodput) {
+  ReservationConfig rts;
+  rts.scheme = ReservationScheme::kTagRts;
+  ReservationConfig data;
+  data.scheme = ReservationScheme::kDataAsRts;
+  const ReservationResult a = evaluate_reservation(rts, 4000, 4);
+  const ReservationResult b = evaluate_reservation(data, 4000, 4);
+  // Same protection, but the first slot carries data instead of control.
+  EXPECT_GT(b.clean_transmissions_per_event, a.clean_transmissions_per_event);
+  EXPECT_LT(b.control_overhead_us, a.control_overhead_us + 1e-9);
+}
+
+TEST(Reservation, BusierChannelHurtsUnprotectedMore) {
+  for (const auto scheme : {ReservationScheme::kNone, ReservationScheme::kDataAsRts}) {
+    ReservationConfig quiet;
+    quiet.scheme = scheme;
+    quiet.channel_busy_probability = 0.05;
+    ReservationConfig busy = quiet;
+    busy.channel_busy_probability = 0.6;
+    const auto a = evaluate_reservation(quiet, 3000, 5);
+    const auto b = evaluate_reservation(busy, 3000, 5);
+    EXPECT_GT(a.clean_transmissions_per_event, b.clean_transmissions_per_event);
+  }
+}
+
+// --- query-reply (§2.5) -----------------------------------------------------------
+
+TEST(QueryReply, FrameRoundTrip) {
+  QueryFrame q;
+  q.tag_address = 0x42;
+  q.opcode = 0x07;
+  const auto bits = q.to_bits();
+  EXPECT_EQ(bits.size(), QueryFrame::kBits);
+  const auto parsed = QueryFrame::from_bits(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tag_address, 0x42);
+  EXPECT_EQ(parsed->opcode, 0x07);
+}
+
+TEST(QueryReply, ChecksumCatchesCorruption) {
+  QueryFrame q;
+  q.tag_address = 0x11;
+  q.opcode = 0x22;
+  auto bits = q.to_bits();
+  bits[3] ^= 1;
+  EXPECT_FALSE(QueryFrame::from_bits(bits).has_value());
+}
+
+TEST(QueryReply, PollingDeliversMostReplies) {
+  std::vector<PolledTag> tags;
+  for (std::uint8_t a = 1; a <= 4; ++a) {
+    tags.push_back({a, itb::phy::Bytes(30, a)});
+  }
+  PollingConfig cfg;
+  const PollingStats s = simulate_polling(tags, cfg, 100, 6);
+  EXPECT_EQ(s.queries_sent, 400u);
+  EXPECT_GT(s.replies_received, 350u);
+  EXPECT_GT(s.aggregate_goodput_kbps, 1.0);
+}
+
+TEST(QueryReply, LossyLinksReduceGoodput) {
+  std::vector<PolledTag> tags = {{1, itb::phy::Bytes(30, 9)}};
+  PollingConfig good;
+  PollingConfig bad = good;
+  bad.uplink_error_rate = 0.5;
+  const PollingStats a = simulate_polling(tags, good, 200, 7);
+  const PollingStats b = simulate_polling(tags, bad, 200, 7);
+  EXPECT_GT(a.aggregate_goodput_kbps, b.aggregate_goodput_kbps);
+}
+
+TEST(QueryReply, MoreTagsShareTheMedium) {
+  PollingConfig cfg;
+  std::vector<PolledTag> one = {{1, itb::phy::Bytes(30, 1)}};
+  std::vector<PolledTag> four;
+  for (std::uint8_t a = 1; a <= 4; ++a) four.push_back({a, itb::phy::Bytes(30, a)});
+  const PollingStats s1 = simulate_polling(one, cfg, 100, 8);
+  const PollingStats s4 = simulate_polling(four, cfg, 100, 8);
+  // Per-tag goodput shrinks with more tags (round-robin), aggregate holds.
+  EXPECT_NEAR(s4.aggregate_goodput_kbps, s1.aggregate_goodput_kbps, 0.5);
+}
+
+}  // namespace
+}  // namespace itb::mac
