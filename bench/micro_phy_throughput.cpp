@@ -7,7 +7,11 @@
 #include "backscatter/wifi_synth.h"
 #include "ble/gfsk.h"
 #include "ble/single_tone.h"
+#include "core/monte_carlo.h"
+#include "dsp/correlate.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "dsp/fir.h"
 #include "dsp/rng.h"
 #include "wifi/cck.h"
 #include "wifi/convolutional.h"
@@ -33,6 +37,130 @@ void BM_Fft1024(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_Fft1024);
+
+// The seed's per-call twiddle-recurrence FFT, kept verbatim as the baseline
+// the planned engine is measured against (see bench/baselines/).
+void seed_fft_inplace(dsp::CVec& x) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const dsp::Real ang = -dsp::kTwoPi / static_cast<dsp::Real>(len);
+    const dsp::Complex wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      dsp::Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const dsp::Complex u = x[i + k];
+        const dsp::Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void BM_Fft1024Seed(benchmark::State& state) {
+  dsp::Xoshiro256 rng(1);
+  dsp::CVec x(1024);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    dsp::CVec y = x;
+    seed_fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Fft1024Seed);
+
+void BM_FftPlanned4096(benchmark::State& state) {
+  dsp::Xoshiro256 rng(1);
+  dsp::CVec x(4096);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const dsp::FftPlan& plan = dsp::fft_plan(4096);
+  for (auto _ : state) {
+    dsp::CVec y = x;
+    plan.forward(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_FftPlanned4096);
+
+void BM_CorrelateDirect1kPattern(benchmark::State& state) {
+  dsp::Xoshiro256 rng(7);
+  dsp::CVec x(16384), p(1024);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto& v : p) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto c = dsp::cross_correlate_direct(x, p);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_CorrelateDirect1kPattern);
+
+void BM_CorrelateFft1kPattern(benchmark::State& state) {
+  dsp::Xoshiro256 rng(7);
+  dsp::CVec x(16384), p(1024);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto& v : p) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto c = dsp::cross_correlate_fft(x, p);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_CorrelateFft1kPattern);
+
+void BM_ConvolveDirect129Taps(benchmark::State& state) {
+  dsp::Xoshiro256 rng(8);
+  dsp::CVec x(8192);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const dsp::RVec taps = dsp::design_lowpass(129, 0.2);
+  for (auto _ : state) {
+    auto y = dsp::convolve_direct(x, taps);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveDirect129Taps);
+
+void BM_ConvolveOverlapSave129Taps(benchmark::State& state) {
+  dsp::Xoshiro256 rng(8);
+  dsp::CVec x(8192);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const dsp::RVec taps = dsp::design_lowpass(129, 0.2);
+  for (auto _ : state) {
+    auto y = dsp::convolve_fft(x, taps);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ConvolveOverlapSave129Taps);
+
+void BM_PerVsSnrSweep(benchmark::State& state) {
+  core::MonteCarloConfig cfg;
+  cfg.trials_per_point = 8;
+  cfg.psdu_bytes = 24;
+  cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> grid{-2.0, 2.0, 6.0};
+  for (auto _ : state) {
+    auto pts = core::per_vs_snr(cfg, grid);
+    benchmark::DoNotOptimize(pts.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cfg.trials_per_point * grid.size()));
+}
+BENCHMARK(BM_PerVsSnrSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_BleSingleTonePayload(benchmark::State& state) {
   for (auto _ : state) {

@@ -10,14 +10,27 @@ namespace itb::backscatter {
 
 namespace {
 
-/// Square wave value (+1/-1) of frequency f at continuous time t, phase
-/// offset in fractions of a period. Edges land on exact sample instants when
-/// sample_rate is a multiple of 4f (the 143 MHz design); otherwise the
-/// nearest-sample quantization models real switching jitter.
-int square_wave(Real t, Real freq, Real phase_cycles) {
-  const Real cycles = t * freq + phase_cycles;
-  const Real frac = cycles - std::floor(cycles);
-  return frac < 0.5 ? 1 : -1;
+/// Per-sample phase increment of a square wave at `freq`, expressed as a
+/// 0.64 fixed-point fraction of a cycle. A 64-bit accumulator stepping by
+/// this value replaces the per-sample floor() of the seed implementation:
+/// the top two accumulator bits ARE the carrier quadrant, and for the
+/// sample-exact 143 MHz design (fs = 4f) the step is exactly 2^62 so edges
+/// land on the same samples as before. For non-dyadic ratios the 2^-64
+/// cycle quantization (~5e-20) is far below the switching jitter the
+/// nearest-sample model already accepts.
+std::uint64_t phase_step_fixed(Real freq, Real sample_rate) {
+  Real r = freq / sample_rate;
+  r -= std::floor(r);  // alias into [0, 1): only the fractional phase matters
+  const Real scaled = std::ldexp(r, 32);
+  const Real hi_f = std::floor(scaled);
+  std::uint64_t hi = static_cast<std::uint64_t>(hi_f);
+  std::uint64_t lo =
+      static_cast<std::uint64_t>(std::llround(std::ldexp(scaled - hi_f, 32)));
+  if (lo >> 32 != 0) {
+    lo = 0;
+    ++hi;
+  }
+  return (hi << 32) | lo;
 }
 
 }  // namespace
@@ -27,30 +40,22 @@ SsbModulator::SsbModulator(const SsbConfig& cfg) : cfg_(cfg) {
   // (+,+) -> e^{j pi/4} region -> state 0 of the canonical order,
   // (-,+) -> state 1, (-,-) -> state 2, (+,-) -> state 3.
   quadrant_to_state_ = {/*I+Q+*/ 0, /*I-Q+*/ 1, /*I-Q-*/ 2, /*I+Q-*/ 3};
+  gammas_ = cfg_.network.gammas();
+  phase_step_ = phase_step_fixed(std::abs(cfg_.shift_hz), cfg_.sample_rate_hz);
 }
 
 StateSequence SsbModulator::carrier_states(std::size_t n) const {
   StateSequence out(n);
-  const Real fs = cfg_.sample_rate_hz;
-  const Real f = std::abs(cfg_.shift_hz);
+  // With the I branch a quarter period ahead of Q (the cos/sin pair), the
+  // quadrant sequence over one carrier cycle is simply 0,1,2,3 for an
+  // upshift — the top two bits of the phase accumulator. A downshift swaps
+  // the branch roles, conjugating the exponential: quadrant 3,2,1,0.
   const bool up = cfg_.shift_hz >= 0.0;
+  std::uint64_t acc = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    const Real t = static_cast<Real>(k) / fs;
-    const int i = square_wave(t, f, 0.25);   // cos-like: +1 at t=0
-    // sin-like: delayed quarter period; for a downshift the Q branch leads
-    // instead of lags, conjugating the synthesized exponential.
-    const int q = square_wave(t, f, up ? 0.0 : 0.5);
-    unsigned quadrant;
-    if (i > 0 && q > 0) {
-      quadrant = 0;
-    } else if (i < 0 && q > 0) {
-      quadrant = 1;
-    } else if (i < 0 && q < 0) {
-      quadrant = 2;
-    } else {
-      quadrant = 3;
-    }
-    out[k] = quadrant_to_state_[quadrant];
+    const unsigned quadrant = static_cast<unsigned>(acc >> 62);
+    out[k] = quadrant_to_state_[up ? quadrant : 3u - quadrant];
+    acc += phase_step_;
   }
   return out;
 }
@@ -67,9 +72,8 @@ StateSequence SsbModulator::modulate_states(
 }
 
 CVec SsbModulator::states_to_waveform(const StateSequence& states) const {
-  const auto g = cfg_.network.gammas();
   CVec out(states.size());
-  for (std::size_t k = 0; k < states.size(); ++k) out[k] = g[states[k]];
+  for (std::size_t k = 0; k < states.size(); ++k) out[k] = gammas_[states[k]];
   return out;
 }
 
@@ -92,25 +96,28 @@ Real SsbModulator::conversion_loss_db(std::size_t probe_samples) const {
   return -10.0 * std::log10(std::max(fund, 1e-30));
 }
 
-DsbModulator::DsbModulator(const SsbConfig& cfg) : cfg_(cfg) {}
+DsbModulator::DsbModulator(const SsbConfig& cfg) : cfg_(cfg) {
+  gammas_ = cfg_.network.gammas();
+  phase_step_ = phase_step_fixed(std::abs(cfg_.shift_hz), cfg_.sample_rate_hz);
+}
 
 StateSequence DsbModulator::carrier_states(std::size_t n) const {
   StateSequence out(n);
-  const Real fs = cfg_.sample_rate_hz;
-  const Real f = std::abs(cfg_.shift_hz);
+  std::uint64_t acc = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    const Real t = static_cast<Real>(k) / fs;
     // Two states: pick the pair with maximal separation (0 and 2 are
-    // diametrically opposite in the canonical order).
-    out[k] = square_wave(t, f, 0.25) > 0 ? 0 : 2;
+    // diametrically opposite in the canonical order). The square wave is
+    // +1 exactly when the accumulator sits in quadrants 0 or 3.
+    const unsigned quadrant = static_cast<unsigned>(acc >> 62);
+    out[k] = (quadrant == 0 || quadrant == 3) ? 0 : 2;
+    acc += phase_step_;
   }
   return out;
 }
 
 CVec DsbModulator::states_to_waveform(const StateSequence& states) const {
-  const auto g = cfg_.network.gammas();
   CVec out(states.size());
-  for (std::size_t k = 0; k < states.size(); ++k) out[k] = g[states[k]];
+  for (std::size_t k = 0; k < states.size(); ++k) out[k] = gammas_[states[k]];
   return out;
 }
 

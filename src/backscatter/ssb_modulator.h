@@ -13,6 +13,7 @@
 // compare against.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,12 @@ class SsbModulator {
   /// Map from quadrant (I>0, Q>0 pattern) to network state index, fixed so
   /// state angles progress counter-clockwise.
   std::array<std::uint8_t, 4> quadrant_to_state_;
+  /// Reflection coefficients of the four states, computed once: the network
+  /// solve involves complex divides and must not run per waveform sample.
+  std::array<Complex, 4> gammas_;
+  /// Phase increment per sample as a 0.64 fixed-point fraction of a cycle;
+  /// the accumulator's top two bits are the carrier quadrant directly.
+  std::uint64_t phase_step_ = 0;
 };
 
 /// Double-sideband baseline: a single ±1 square wave at |shift_hz| toggling
@@ -79,6 +86,8 @@ class DsbModulator {
 
  private:
   SsbConfig cfg_;
+  std::array<Complex, 4> gammas_;
+  std::uint64_t phase_step_ = 0;
 };
 
 /// Expands chip-rate QPSK rotations (0..3) to per-sample rotations.

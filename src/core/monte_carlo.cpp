@@ -2,11 +2,32 @@
 
 #include "channel/awgn.h"
 #include "channel/link.h"
+#include "core/parallel.h"
 #include "dsp/rng.h"
 #include "wifi/dsss_rx.h"
 #include "wifi/dsss_tx.h"
 
 namespace itb::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t sweep_seed, std::uint64_t point_index,
+                         std::uint64_t trial_index) {
+  // Counter-based substream: the (point, trial) pair forms a unique 64-bit
+  // counter; two SplitMix64 rounds decorrelate it from the sweep seed. Each
+  // Xoshiro256 constructed from the result re-expands through SplitMix64
+  // again, so neighbouring counters share no state.
+  return splitmix64(sweep_seed ^ splitmix64((point_index << 32) | trial_index));
+}
 
 std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
                                  const std::vector<double>& snr_grid_db) {
@@ -15,29 +36,40 @@ std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
   const itb::wifi::DsssTransmitter tx(txcfg);
   const itb::wifi::DsssReceiver rx;
 
-  itb::dsp::Xoshiro256 rng(cfg.seed);
+  const std::size_t trials = cfg.trials_per_point;
+  const std::size_t total = snr_grid_db.size() * trials;
+  // One slot per (point, trial); workers write disjoint slots, so the
+  // aggregation below is independent of scheduling.
+  std::vector<std::uint8_t> failed(total, 0);
+
+  parallel_for(total, cfg.num_threads, [&](std::size_t idx) {
+    const std::size_t point = idx / trials;
+    const std::size_t trial = idx % trials;
+    itb::dsp::Xoshiro256 rng(trial_seed(cfg.seed, point, trial));
+
+    itb::phy::Bytes psdu(cfg.psdu_bytes);
+    for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto frame = tx.modulate(psdu);
+    // The chip stream occupies the full 22 MHz channel at 1 sample/chip,
+    // so per-sample SNR equals channel SNR.
+    const auto noisy =
+        itb::channel::add_noise_snr(frame.baseband, snr_grid_db[point], rng);
+    const auto result = rx.receive(noisy);
+    const bool ok =
+        result.has_value() && result->header_ok && result->psdu == psdu;
+    failed[idx] = ok ? 0 : 1;
+  });
 
   std::vector<PerPoint> out;
   out.reserve(snr_grid_db.size());
-  for (const double snr : snr_grid_db) {
+  for (std::size_t point = 0; point < snr_grid_db.size(); ++point) {
     std::size_t failures = 0;
-    for (std::size_t t = 0; t < cfg.trials_per_point; ++t) {
-      itb::phy::Bytes psdu(cfg.psdu_bytes);
-      for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(256));
-      const auto frame = tx.modulate(psdu);
-      // The chip stream occupies the full 22 MHz channel at 1 sample/chip,
-      // so per-sample SNR equals channel SNR.
-      const auto noisy = itb::channel::add_noise_snr(frame.baseband, snr, rng);
-      const auto result = rx.receive(noisy);
-      const bool ok =
-          result.has_value() && result->header_ok && result->psdu == psdu;
-      failures += !ok;
-    }
-    out.push_back({snr,
-                   static_cast<double>(failures) /
-                       static_cast<double>(cfg.trials_per_point),
-                   itb::channel::per_80211b(cfg.rate, snr, cfg.psdu_bytes),
-                   cfg.trials_per_point});
+    for (std::size_t t = 0; t < trials; ++t) failures += failed[point * trials + t];
+    out.push_back({snr_grid_db[point],
+                   static_cast<double>(failures) / static_cast<double>(trials),
+                   itb::channel::per_80211b(cfg.rate, snr_grid_db[point],
+                                            cfg.psdu_bytes),
+                   trials});
   }
   return out;
 }

@@ -2,8 +2,14 @@
 // chain over noisy synthesized frames at a grid of SNRs. Used to validate
 // the closed-form per_80211b() model (DESIGN.md's cross-check commitment)
 // and by the ablation bench.
+//
+// Trials fan out across a std::thread pool. Every (point, trial) pair draws
+// from its own counter-based RNG substream derived from the sweep seed, so
+// the output is bit-identical regardless of thread count or scheduling
+// (see trial_seed and DESIGN.md "Deterministic parallel RNG").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "wifi/rates.h"
@@ -22,7 +28,15 @@ struct MonteCarloConfig {
   std::size_t psdu_bytes = 31;
   std::size_t trials_per_point = 40;
   std::uint64_t seed = 2024;
+  /// Worker threads for the trial fan-out; 0 = all hardware threads.
+  std::size_t num_threads = 0;
 };
+
+/// Deterministic per-(point, trial) RNG substream seed: one SplitMix64-style
+/// mix of the sweep seed with the trial's global counter. Exposed so tests
+/// and future sweep engines can share the scheme.
+std::uint64_t trial_seed(std::uint64_t sweep_seed, std::uint64_t point_index,
+                         std::uint64_t trial_index);
 
 /// Sweeps channel SNR (dB, in the 22 MHz channel bandwidth) and measures
 /// frame error rate by decoding each noisy frame end-to-end, side by side

@@ -1,62 +1,46 @@
 #include "dsp/fft.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "dsp/fft_plan.h"
 
 namespace itb::dsp {
 
 namespace {
 
-// Bit-reversal permutation for the iterative FFT.
-void bit_reverse_permute(CVec& x) {
-  const std::size_t n = x.size();
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-}
-
-void transform(CVec& x, bool inverse) {
-  const std::size_t n = x.size();
-  assert(is_power_of_two(n) && "FFT size must be a power of two");
-  bit_reverse_permute(x);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const Real ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<Real>(len);
-    const Complex wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    const Real inv_n = 1.0 / static_cast<Real>(n);
-    for (Complex& v : x) v *= inv_n;
+void require_power_of_two(std::size_t n, const char* what) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": size must be a power of two, got " +
+                                std::to_string(n));
   }
 }
 
 }  // namespace
 
-void fft_inplace(CVec& x) { transform(x, /*inverse=*/false); }
+void fft_inplace(std::span<Complex> x) {
+  require_power_of_two(x.size(), "fft_inplace");
+  fft_plan(x.size()).forward(x);
+}
 
-void ifft_inplace(CVec& x) { transform(x, /*inverse=*/true); }
+void ifft_inplace(std::span<Complex> x) {
+  require_power_of_two(x.size(), "ifft_inplace");
+  fft_plan(x.size()).inverse(x);
+}
 
 CVec fft(std::span<const Complex> x) {
+  if (!is_power_of_two(x.size())) return dft(x);
   CVec out(x.begin(), x.end());
-  fft_inplace(out);
+  fft_plan(out.size()).forward(out);
   return out;
 }
 
 CVec ifft(std::span<const Complex> x) {
+  if (!is_power_of_two(x.size())) return idft(x);
   CVec out(x.begin(), x.end());
-  ifft_inplace(out);
+  fft_plan(out.size()).inverse(out);
   return out;
 }
 
@@ -71,6 +55,23 @@ CVec dft(std::span<const Complex> x) {
       acc += x[t] * Complex{std::cos(ang), std::sin(ang)};
     }
     out[k] = acc;
+  }
+  return out;
+}
+
+CVec idft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  if (n == 0) return out;
+  const Real inv_n = 1.0 / static_cast<Real>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const Real ang =
+          kTwoPi * static_cast<Real>(k) * static_cast<Real>(t) / static_cast<Real>(n);
+      acc += x[t] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc * inv_n;
   }
   return out;
 }

@@ -1,4 +1,6 @@
-// Radix-2 FFT/IFFT plus a reference DFT used to validate it in tests.
+// FFT/IFFT front end over the cached-plan engine (dsp/fft_plan.h), plus a
+// reference DFT used to validate it in tests and to serve non-power-of-two
+// sizes exactly.
 #pragma once
 
 #include <span>
@@ -7,19 +9,26 @@
 
 namespace itb::dsp {
 
-/// In-place iterative radix-2 decimation-in-time FFT.
-/// `x.size()` must be a power of two (asserted).
-void fft_inplace(CVec& x);
+/// In-place radix-2 FFT through the process-wide plan cache.
+/// The size must be a power of two; this is validated in ALL build modes
+/// (std::invalid_argument), not just debug — a silent garbage transform in
+/// release builds is how spur measurements go wrong.
+void fft_inplace(std::span<Complex> x);
 
-/// In-place inverse FFT with 1/N normalization. Size must be a power of two.
-void ifft_inplace(CVec& x);
+/// In-place inverse FFT with 1/N normalization. Power-of-two sizes only,
+/// validated in all build modes.
+void ifft_inplace(std::span<Complex> x);
 
-/// Out-of-place convenience wrappers.
+/// Out-of-place transforms for any size: power-of-two inputs run through the
+/// plan cache, everything else falls back to the exact O(N^2) dft/idft.
 CVec fft(std::span<const Complex> x);
 CVec ifft(std::span<const Complex> x);
 
 /// O(N^2) reference DFT, any size. Used by tests and small transforms.
 CVec dft(std::span<const Complex> x);
+
+/// O(N^2) inverse DFT with 1/N normalization, any size.
+CVec idft(std::span<const Complex> x);
 
 /// True if n is a power of two (and nonzero).
 constexpr bool is_power_of_two(std::size_t n) {

@@ -1,0 +1,53 @@
+// Planned FFT: precomputed twiddle tables and bit-reversal permutations,
+// cached per transform size.
+//
+// The seed FFT regenerated its twiddles per call with the recurrence
+// w *= wlen, which costs one extra complex multiply per butterfly and
+// accumulates rounding error over a stage. A plan pays the trig once
+// (std::polar per table entry, exact to 0.5 ulp) and the butterfly loop
+// touches only data and a table read. The first two stages (twiddles
+// 1 and -j) are specialized to pure additions.
+//
+// Plans are immutable after construction, so one cached plan can serve any
+// number of threads concurrently; the cache itself is mutex-guarded and
+// entries live for the life of the process (references stay valid).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace itb::dsp {
+
+class FftPlan {
+ public:
+  /// Builds tables for an n-point transform. n must be a power of two;
+  /// throws std::invalid_argument otherwise (checked in all build modes).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT (no scaling). x.size() must equal size().
+  void forward(std::span<Complex> x) const;
+
+  /// In-place inverse DFT with 1/N scaling. x.size() must equal size().
+  void inverse(std::span<Complex> x) const;
+
+ private:
+  template <bool kInverse>
+  void run(std::span<Complex> x) const;
+
+  std::size_t n_ = 0;
+  /// Stage-major forward twiddles: stage `len` owns len/2 entries starting
+  /// at index len/2 - 1 (total n - 1). Inverse conjugates on the fly.
+  std::vector<Complex> twiddles_;
+  std::vector<std::uint32_t> bitrev_;
+};
+
+/// Process-wide plan cache keyed by transform size. Thread-safe; the
+/// returned reference stays valid for the life of the process.
+const FftPlan& fft_plan(std::size_t n);
+
+}  // namespace itb::dsp

@@ -1,0 +1,26 @@
+// Overlap-save fast convolution: the spectral engine behind convolve_fft()
+// and cross_correlate_fft().
+//
+// The kernel spectrum is computed once per call; the signal streams through
+// fixed-size FFT blocks that overlap by (kernel length - 1) samples, so the
+// circular convolution of each block yields a run of valid linear-convolution
+// outputs. Block size is chosen to amortize the FFT cost: L = next_pow2 of
+// ~8x the kernel length (min 256), collapsed to a single block when the
+// whole output fits in one transform anyway.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace itb::dsp {
+
+/// Full linear convolution y = x (*) h via overlap-save, with a complex
+/// kernel. Output length x.size() + h.size() - 1. Either input empty -> {}.
+CVec overlap_save_convolve(std::span<const Complex> x, std::span<const Complex> h);
+
+/// FFT block size the engine would pick for a kernel of nh taps producing
+/// ny total output samples (exposed for benches/tests).
+std::size_t overlap_save_block_size(std::size_t nh, std::size_t ny);
+
+}  // namespace itb::dsp

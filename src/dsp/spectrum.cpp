@@ -5,12 +5,12 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace itb::dsp {
 
 Psd welch_psd(std::span<const Complex> x, Real sample_rate_hz,
               const WelchConfig& cfg) {
-  assert(is_power_of_two(cfg.segment_size));
   assert(cfg.overlap < cfg.segment_size);
   const std::size_t seg = cfg.segment_size;
   const std::size_t hop = seg - cfg.overlap;
@@ -18,21 +18,24 @@ Psd welch_psd(std::span<const Complex> x, Real sample_rate_hz,
   const RVec w = make_window(cfg.window, seg);
   const Real wpow = window_power(w);
 
+  // One cache lookup for the whole run; every segment reuses the tables.
+  const FftPlan& plan = fft_plan(seg);
+
   RVec accum(seg, 0.0);
   std::size_t count = 0;
+  CVec block(seg);
   if (x.size() >= seg) {
     for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
-      CVec block(seg);
       for (std::size_t i = 0; i < seg; ++i) block[i] = x[start + i] * w[i];
-      fft_inplace(block);
+      plan.forward(block);
       for (std::size_t i = 0; i < seg; ++i) accum[i] += std::norm(block[i]);
       ++count;
     }
   } else {
     // Zero-pad a short input to a single segment.
-    CVec block(seg, Complex{0.0, 0.0});
+    std::fill(block.begin(), block.end(), Complex{0.0, 0.0});
     for (std::size_t i = 0; i < x.size(); ++i) block[i] = x[i] * w[i];
-    fft_inplace(block);
+    plan.forward(block);
     for (std::size_t i = 0; i < seg; ++i) accum[i] += std::norm(block[i]);
     count = 1;
   }

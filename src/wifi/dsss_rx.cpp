@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsp/correlate.h"
 #include "dsp/units.h"
 #include "phycommon/crc.h"
 #include "phycommon/lfsr.h"
@@ -19,17 +20,13 @@ DsssReceiver::DsssReceiver(const DsssRxConfig& cfg) : cfg_(cfg) {}
 
 namespace {
 
-/// Sum of Barker correlation magnitudes over `n_symbols` consecutive symbols
-/// starting at `offset` (in chips).
-Real lock_metric(const CVec& chips, std::size_t offset, std::size_t n_symbols) {
-  Real acc = 0.0;
-  for (std::size_t s = 0; s < n_symbols; ++s) {
-    const std::size_t at = offset + s * kBarker.size();
-    if (at + kBarker.size() > chips.size()) break;
-    acc += barker_correlation(
-        std::span<const Complex>(chips).subspan(at, kBarker.size()));
+/// The Barker sequence as a complex correlation pattern (+/-1, zero phase).
+CVec barker_pattern() {
+  CVec p(kBarker.size());
+  for (std::size_t k = 0; k < kBarker.size(); ++k) {
+    p[k] = Complex{static_cast<Real>(kBarker[k]), 0.0};
   }
-  return acc;
+  return p;
 }
 
 }  // namespace
@@ -52,11 +49,24 @@ std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
   if (chips.size() < 2 * kBarker.size()) return std::nullopt;
 
   // --- 2. Chip-timing acquisition over the 11 possible alignments ----------
+  // One sliding correlation over the probe region yields every
+  // (offset, symbol) Barker metric at once; the correlate API picks the
+  // direct or spectral path by size.
   const std::size_t probe_symbols = 16;
+  const std::size_t probe_len =
+      std::min(chips.size(), (probe_symbols + 1) * kBarker.size());
+  static const CVec pattern = barker_pattern();
+  const CVec corr = itb::dsp::cross_correlate(
+      std::span<const Complex>(chips).first(probe_len), pattern);
   std::size_t best_off = 0;
   Real best_metric = -1.0;
   for (std::size_t off = 0; off < kBarker.size(); ++off) {
-    const Real m = lock_metric(chips, off, probe_symbols);
+    Real m = 0.0;
+    for (std::size_t s = 0; s < probe_symbols; ++s) {
+      const std::size_t at = off + s * kBarker.size();
+      if (at >= corr.size()) break;
+      m += std::abs(corr[at]);
+    }
     if (m > best_metric) {
       best_metric = m;
       best_off = off;

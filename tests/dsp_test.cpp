@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "dsp/correlate.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/fir.h"
+#include "dsp/ola.h"
 #include "dsp/mixer.h"
 #include "dsp/resample.h"
 #include "dsp/rng.h"
@@ -77,6 +82,75 @@ TEST(Fft, FftShiftSwapsHalves) {
   RVec x = {0, 1, 2, 3};
   const RVec s = fftshift(std::span<const Real>(x));
   EXPECT_EQ(s, (RVec{2, 3, 0, 1}));
+}
+
+TEST(FftPlan, MatchesReferenceDftAcrossPlanCacheSizes) {
+  Xoshiro256 rng(1234);
+  for (std::size_t n : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    CVec x(n);
+    for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const CVec fast = fft(x);  // goes through fft_plan(n)
+    const CVec slow = dft(x);
+    ASSERT_EQ(fast.size(), slow.size());
+    // dft() itself accumulates O(n) rounding at these sizes; scale the
+    // tolerance with sqrt(n) around the 1e-9 base.
+    const Real tol = 1e-9 * std::sqrt(static_cast<Real>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(fast[i].real(), slow[i].real(), tol) << "n=" << n << " bin " << i;
+      ASSERT_NEAR(fast[i].imag(), slow[i].imag(), tol) << "n=" << n << " bin " << i;
+    }
+  }
+}
+
+TEST(FftPlan, CacheReturnsSameInstance) {
+  const FftPlan& a = fft_plan(256);
+  const FftPlan& b = fft_plan(256);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 256u);
+}
+
+TEST(FftPlan, InverseRoundTripsThroughPlan) {
+  Xoshiro256 rng(99);
+  CVec x(1024);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  CVec y = x;
+  const FftPlan& plan = fft_plan(1024);
+  plan.forward(y);
+  plan.inverse(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(FftPlan(100), std::invalid_argument);
+}
+
+TEST(Fft, InplaceThrowsOnNonPowerOfTwoInAllBuildModes) {
+  CVec x(100);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+  EXPECT_THROW(ifft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, OutOfPlaceFallsBackToDftForNonPowerOfTwo) {
+  Xoshiro256 rng(77);
+  CVec x(100);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const CVec via_fft = fft(x);
+  const CVec via_dft = dft(x);
+  ASSERT_EQ(via_fft.size(), via_dft.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(via_fft[i].real(), via_dft[i].real(), 1e-12);
+    EXPECT_NEAR(via_fft[i].imag(), via_dft[i].imag(), 1e-12);
+  }
+  const CVec back = ifft(via_fft);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
 }
 
 TEST(Window, HannEndpointsAreZero) {
@@ -166,6 +240,86 @@ TEST(Fir, SinglePoleStepResponseConverges) {
   const RVec y = single_pole_lowpass(x, 0.1);
   EXPECT_NEAR(y.back(), 1.0, 1e-6);
   EXPECT_LE(y[1], 1.0);
+}
+
+TEST(Fir, OverlapSaveMatchesDirectComplex) {
+  Xoshiro256 rng(501);
+  const std::vector<std::pair<std::size_t, std::size_t>> cases{
+      {4096, 101}, {777, 33}, {2048, 129}, {300, 64}};
+  for (const auto& [nx, ntaps] : cases) {
+    CVec x(nx);
+    for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    RVec taps(ntaps);
+    for (auto& t : taps) t = rng.uniform(-1, 1);
+    const CVec direct = convolve_direct(x, taps);
+    const CVec spectral = convolve_fft(x, taps);
+    ASSERT_EQ(direct.size(), spectral.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(direct[i].real(), spectral[i].real(), 1e-9)
+          << "nx=" << nx << " ntaps=" << ntaps << " i=" << i;
+      ASSERT_NEAR(direct[i].imag(), spectral[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fir, OverlapSaveMatchesDirectReal) {
+  Xoshiro256 rng(502);
+  RVec x(3000);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  RVec taps(75);
+  for (auto& t : taps) t = rng.uniform(-1, 1);
+  const RVec direct = convolve_direct(x, taps);
+  const RVec spectral = convolve_fft(x, taps);
+  ASSERT_EQ(direct.size(), spectral.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_NEAR(direct[i], spectral[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Fir, AutoConvolveAgreesWithDirectOnBothSidesOfCrossover) {
+  Xoshiro256 rng(503);
+  // One size below the spectral threshold, one above.
+  const std::vector<std::pair<std::size_t, std::size_t>> cases{{100, 7},
+                                                              {8192, 129}};
+  for (const auto& [nx, ntaps] : cases) {
+    CVec x(nx);
+    for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    RVec taps(ntaps);
+    for (auto& t : taps) t = rng.uniform(-1, 1);
+    const CVec direct = convolve_direct(x, taps);
+    const CVec any = convolve(x, taps);
+    ASSERT_EQ(direct.size(), any.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(std::abs(direct[i] - any[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fir, CrossoverHeuristicSanity) {
+  EXPECT_FALSE(convolve_prefers_fft(1000, 7));    // tiny kernel: stay direct
+  EXPECT_FALSE(convolve_prefers_fft(64, 33));     // tiny signal: stay direct
+  EXPECT_TRUE(convolve_prefers_fft(8192, 129));   // long filter on long signal
+  EXPECT_TRUE(correlate_prefers_fft(16384, 1024));
+  EXPECT_FALSE(correlate_prefers_fft(200, 11));   // Barker-scale: direct
+}
+
+TEST(Ola, SingleBlockAndMultiBlockAgree) {
+  Xoshiro256 rng(504);
+  // Kernel long enough that an 8x block would exceed the single-transform
+  // size: exercises the block-size collapse path.
+  CVec x(500), h(400);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto& v : h) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const CVec y = overlap_save_convolve(x, h);
+  ASSERT_EQ(y.size(), x.size() + h.size() - 1);
+  // Reference: direct complex-kernel convolution.
+  CVec ref(x.size() + h.size() - 1, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < h.size(); ++k) ref[i + k] += x[i] * h[k];
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(std::abs(y[i] - ref[i]), 0.0, 1e-9) << "i=" << i;
+  }
 }
 
 TEST(Mixer, NcoFrequencyAccuracy) {
@@ -276,6 +430,35 @@ TEST(Correlate, FindsEmbeddedPattern) {
   const CVec corr = cross_correlate(noise, pattern);
   EXPECT_EQ(peak_lag(corr), 200u);
   EXPECT_GT(normalized_peak(noise, pattern, 200), 0.9);
+}
+
+TEST(Correlate, SpectralMatchesDirectLongPattern) {
+  Xoshiro256 rng(601);
+  CVec x(8192), p(1000);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto& v : p) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const CVec direct = cross_correlate_direct(x, p);
+  const CVec spectral = cross_correlate_fft(x, p);
+  ASSERT_EQ(direct.size(), spectral.size());
+  ASSERT_EQ(direct.size(), x.size() - p.size() + 1);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    // Magnitudes here are O(sqrt(1000)); 1e-9 absolute still holds in double.
+    ASSERT_NEAR(direct[i].real(), spectral[i].real(), 1e-9) << "lag " << i;
+    ASSERT_NEAR(direct[i].imag(), spectral[i].imag(), 1e-9) << "lag " << i;
+  }
+}
+
+TEST(Correlate, AutoDispatchFindsSamePeakAsDirect) {
+  Xoshiro256 rng(602);
+  CVec pattern(256);
+  for (auto& v : pattern) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  CVec x(4096);
+  for (auto& v : x) v = 0.05 * Complex{rng.gaussian(), rng.gaussian()};
+  const std::size_t embed = 1777;
+  for (std::size_t k = 0; k < pattern.size(); ++k) x[embed + k] += pattern[k];
+  const CVec corr = cross_correlate(x, pattern);
+  EXPECT_EQ(peak_lag(corr), embed);
+  EXPECT_EQ(peak_lag(cross_correlate_direct(x, pattern)), embed);
 }
 
 TEST(Units, DbConversionsRoundTrip) {

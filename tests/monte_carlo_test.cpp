@@ -1,0 +1,103 @@
+// Tests for the parallel Monte-Carlo sweep core: bit-identical results
+// across thread counts (the counter-based RNG substream guarantee), the
+// substream seed function itself, and the parallel_for primitive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/monte_carlo.h"
+#include "core/parallel.h"
+
+namespace itb::core {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(TrialSeed, SubstreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t point = 0; point < 32; ++point) {
+    for (std::uint64_t trial = 0; trial < 64; ++trial) {
+      seen.insert(trial_seed(2024, point, trial));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 64u);
+  // Different sweep seeds decorrelate the whole grid.
+  EXPECT_NE(trial_seed(1, 0, 0), trial_seed(2, 0, 0));
+}
+
+TEST(MonteCarlo, PerVsSnrBitIdenticalAcrossThreadCounts) {
+  MonteCarloConfig cfg;
+  cfg.trials_per_point = 6;
+  cfg.psdu_bytes = 16;
+  const std::vector<double> grid{-4.0, 0.0, 6.0};
+
+  cfg.num_threads = 1;
+  const auto one = per_vs_snr(cfg, grid);
+  cfg.num_threads = 2;
+  const auto two = per_vs_snr(cfg, grid);
+  cfg.num_threads = 8;
+  const auto eight = per_vs_snr(cfg, grid);
+
+  ASSERT_EQ(one.size(), grid.size());
+  ASSERT_EQ(two.size(), grid.size());
+  ASSERT_EQ(eight.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(one[i].per_monte_carlo, two[i].per_monte_carlo) << "point " << i;
+    EXPECT_EQ(one[i].per_monte_carlo, eight[i].per_monte_carlo) << "point " << i;
+    EXPECT_EQ(one[i].per_closed_form, eight[i].per_closed_form);
+    EXPECT_EQ(one[i].trials, eight[i].trials);
+    EXPECT_EQ(one[i].snr_db, grid[i]);
+  }
+}
+
+TEST(MonteCarlo, RepeatedRunsAreDeterministic) {
+  MonteCarloConfig cfg;
+  cfg.trials_per_point = 5;
+  cfg.psdu_bytes = 16;
+  cfg.num_threads = 4;
+  const std::vector<double> grid{2.0};
+  const auto a = per_vs_snr(cfg, grid);
+  const auto b = per_vs_snr(cfg, grid);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].per_monte_carlo, b[0].per_monte_carlo);
+}
+
+TEST(MonteCarlo, SeedChangesTheDraw) {
+  // With few trials at a waterfall SNR the empirical PER is seed-sensitive;
+  // this only checks the seed is actually plumbed through, so accept either
+  // equal or different PER but require the engine to consume the new seed
+  // (trial_seed must differ).
+  EXPECT_NE(trial_seed(2024, 0, 0), trial_seed(2025, 0, 0));
+}
+
+}  // namespace
+}  // namespace itb::core
