@@ -1,0 +1,128 @@
+// Network-simulator scale benchmark: how many tags (and polls) per second
+// the discrete-event engine sustains at budget fidelity, single- and
+// multi-threaded. Feeds the BENCH_net_scale.json trajectory; the seed
+// baseline lives in bench/baselines/seed_net_scale.json.
+//
+// Usage:
+//   net_scale            full sweep, human-readable table
+//   net_scale --quick    one small repetition (CI smoke: seconds, not minutes)
+//   net_scale --json     machine-readable JSON records instead of the table
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/network.h"
+
+namespace {
+
+struct Point {
+  std::size_t tags;
+  std::size_t rounds;
+  std::size_t threads;
+  double build_ms;
+  double run_ms;
+  double tags_per_sec;
+  double polls_per_sec;
+  unsigned long long digest;
+};
+
+Point measure(std::size_t tags, std::size_t rounds, std::size_t threads,
+              std::size_t reps) {
+  using namespace itb;
+  sim::NetworkConfig cfg;
+  cfg.topology.kind = sim::TopologyKind::kHospitalWard;
+  cfg.topology.num_tags = tags;
+  cfg.topology.num_helpers = 0;
+  cfg.topology.num_aps = std::max<std::size_t>(6, (tags + 3) / 16);
+  cfg.detector_sensitivity_dbm = -49.0;
+  cfg.wifi_channels = {1, 6, 11};
+  cfg.rounds = rounds;
+  cfg.seed = 2026;
+  cfg.num_threads = threads;
+  cfg.keep_per_tag = true;  // digest covers per-tag state
+
+  const auto b0 = std::chrono::steady_clock::now();
+  const sim::NetworkCoordinator net(cfg);
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - b0)
+                              .count();
+
+  double best_ms = 1e300;
+  unsigned long long digest = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::NetworkStats s = net.run();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    best_ms = std::min(best_ms, ms);
+    digest = s.digest();
+  }
+  const double polls = static_cast<double>(tags * rounds);
+  return {tags,
+          rounds,
+          threads,
+          build_ms,
+          best_ms,
+          static_cast<double>(tags) / (best_ms / 1e3),
+          polls / (best_ms / 1e3),
+          digest};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  const std::size_t reps = quick ? 1 : 5;
+  std::vector<std::pair<std::size_t, std::size_t>> sweep;  // (tags, threads)
+  if (quick) {
+    sweep = {{100, 1}, {500, 1}};
+  } else {
+    sweep = {{100, 1}, {1000, 1}, {5000, 1}, {5000, 0 /* all hw threads */}};
+  }
+
+  std::vector<Point> points;
+  points.reserve(sweep.size());
+  for (const auto& [tags, threads] : sweep) {
+    points.push_back(measure(tags, /*rounds=*/8, threads, reps));
+  }
+
+  if (json) {
+    std::printf("{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::printf(
+          "    {\"name\": \"BM_NetScale/%zu/threads:%zu\", "
+          "\"tags\": %zu, \"rounds\": %zu, \"build_ms\": %.3f, "
+          "\"run_ms\": %.3f, \"tags_per_second\": %.1f, "
+          "\"polls_per_second\": %.1f, \"digest\": \"%016llx\"}%s\n",
+          p.tags, p.threads, p.tags, p.rounds, p.build_ms, p.run_ms,
+          p.tags_per_sec, p.polls_per_sec, p.digest,
+          i + 1 < points.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  itb::bench::header("net_scale",
+                     "network simulator scale: tags simulated per second",
+                     "budget-fidelity fleet sim must stay interactive to 5k "
+                     "tags (acceptance: 1000 tags < 10 s single-threaded)");
+  std::printf("%8s %8s %8s %10s %10s %14s %14s  %s\n", "tags", "rounds",
+              "threads", "build_ms", "run_ms", "tags/s", "polls/s", "digest");
+  for (const Point& p : points) {
+    std::printf("%8zu %8zu %8zu %10.2f %10.2f %14.0f %14.0f  %016llx\n",
+                p.tags, p.rounds, p.threads, p.build_ms, p.run_ms,
+                p.tags_per_sec, p.polls_per_sec, p.digest);
+  }
+  return 0;
+}

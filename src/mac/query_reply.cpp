@@ -12,6 +12,17 @@ std::uint8_t checksum4(std::uint8_t addr, std::uint8_t op) {
 
 }  // namespace
 
+double poll_slot_us(const PollingConfig& cfg) {
+  const double query_us =
+      static_cast<double>(QueryFrame::kBits) / cfg.downlink_kbps * 1e3;
+  return query_us + cfg.advertising_interval_ms * 1e3;
+}
+
+double safe_goodput_kbps(double payload_bits, double total_time_us) {
+  if (!(total_time_us > 0.0)) return 0.0;
+  return payload_bits / (total_time_us / 1e3);
+}
+
 Bits QueryFrame::to_bits() const {
   Bits out;
   const Bits a = itb::phy::uint_to_bits_lsb_first(tag_address, 8);
@@ -47,9 +58,7 @@ PollingStats simulate_polling(const std::vector<PolledTag>& tags,
     for (const PolledTag& tag : tags) {
       ++out.queries_sent;
       // Downlink query time + one advertising interval for the reply window.
-      const double query_us =
-          static_cast<double>(QueryFrame::kBits) / cfg.downlink_kbps * 1e3;
-      out.total_time_us += query_us + cfg.advertising_interval_ms * 1e3;
+      out.total_time_us += poll_slot_us(cfg);
 
       if (rng.uniform() < cfg.downlink_error_rate) continue;  // tag missed it
       if (rng.uniform() < cfg.uplink_error_rate) continue;    // reply lost
@@ -60,10 +69,8 @@ PollingStats simulate_polling(const std::vector<PolledTag>& tags,
     }
   }
 
-  if (out.total_time_us > 0.0) {
-    out.aggregate_goodput_kbps =
-        payload_bits_delivered / (out.total_time_us / 1e3);
-  }
+  out.aggregate_goodput_kbps =
+      safe_goodput_kbps(payload_bits_delivered, out.total_time_us);
   return out;
 }
 

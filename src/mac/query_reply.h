@@ -51,6 +51,16 @@ struct PollingConfig {
   Real uplink_error_rate = 0.05;
 };
 
+/// Air time of one TDMA poll slot (query transmission + the advertising
+/// interval in which the addressed tag may reply), microseconds. Shared by
+/// simulate_polling and the network simulator's slot schedule.
+double poll_slot_us(const PollingConfig& cfg);
+
+/// `payload_bits` delivered over `total_time_us` -> kbps; 0 (not NaN/inf)
+/// when no air time was spent (zero tags, zero rounds, or empty payloads
+/// delivered in zero time).
+double safe_goodput_kbps(double payload_bits, double total_time_us);
+
 /// Simulates one round-robin polling sweep over the tags, `rounds` times.
 PollingStats simulate_polling(const std::vector<PolledTag>& tags,
                               const PollingConfig& cfg, std::size_t rounds,

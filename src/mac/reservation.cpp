@@ -1,9 +1,72 @@
 #include "mac/reservation.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace itb::mac {
 
-ReservationResult evaluate_reservation(const ReservationConfig& cfg,
+namespace {
+
+Real clamp_probability(Real p) {
+  if (std::isnan(p)) return 0.0;
+  return std::clamp(p, Real{0.0}, Real{1.0});
+}
+
+}  // namespace
+
+ReservationConfig ReservationConfig::validated() const {
+  ReservationConfig out = *this;
+  out.channel_busy_probability = clamp_probability(channel_busy_probability);
+  out.cts_detection_probability = clamp_probability(cts_detection_probability);
+  return out;
+}
+
+ReservationOutcome reservation_outcome(const ReservationConfig& raw) {
+  const ReservationConfig cfg = raw.validated();
+  const Real busy = cfg.channel_busy_probability;
+  const Real cts = cfg.cts_detection_probability;
+  ReservationOutcome out;
+  switch (cfg.scheme) {
+    case ReservationScheme::kNone:
+      // Every advertisement carries data and independently risks collision.
+      out.data_slots_per_event = 3.0;
+      out.p_clean = 1.0 - busy;
+      out.p_collision = busy;
+      out.p_silent = 0.0;
+      break;
+    case ReservationScheme::kCtsToSelf:
+      // The helper's own radio reserves the channel for the whole event.
+      out.data_slots_per_event = 3.0;
+      out.p_clean = 1.0;
+      out.p_collision = 0.0;
+      out.p_silent = 0.0;
+      break;
+    case ReservationScheme::kTagRts:
+      // Channel 37 carries the RTS (control, no data); 38/39 carry data only
+      // if the channel was free and the CTS was detected, else the tag stays
+      // quiet for the rest of the event.
+      out.data_slots_per_event = 2.0;
+      out.p_clean = (1.0 - busy) * cts;
+      out.p_collision = 0.0;
+      out.p_silent = 1.0 - out.p_clean;
+      out.control_overhead_us = cfg.ble_packet_us;
+      break;
+    case ReservationScheme::kDataAsRts:
+      // Slot 1 carries data and doubles as the RTS: clean w.p. (1-busy),
+      // collided w.p. busy. Slots 2 and 3 transmit only if slot 1 was clean
+      // and the CTS was seen, and are then protected. Averaged per slot:
+      out.data_slots_per_event = 3.0;
+      out.p_clean = (1.0 - busy) * (1.0 + 2.0 * cts) / 3.0;
+      out.p_collision = busy / 3.0;
+      out.p_silent = 1.0 - out.p_clean - out.p_collision;
+      break;
+  }
+  return out;
+}
+
+ReservationResult evaluate_reservation(const ReservationConfig& raw,
                                        std::size_t events, std::uint64_t seed) {
+  const ReservationConfig cfg = raw.validated();
   itb::dsp::Xoshiro256 rng(seed);
   ReservationResult out;
 
@@ -72,9 +135,12 @@ ReservationResult evaluate_reservation(const ReservationConfig& cfg,
     }
   }
 
-  out.clean_transmissions_per_event = clean_total / static_cast<double>(events);
+  if (events > 0) {
+    out.clean_transmissions_per_event =
+        clean_total / static_cast<double>(events);
+    out.control_overhead_us = control_us / static_cast<double>(events);
+  }
   out.collision_fraction = transmitted > 0.0 ? collided / transmitted : 0.0;
-  out.control_overhead_us = control_us / static_cast<double>(events);
   return out;
 }
 

@@ -29,10 +29,37 @@ struct ReservationConfig {
   itb::ble::AdvertiserTiming timing{};
   Real ble_packet_us = 376.0;  ///< 47-byte advertising packet at 1 Mbps
   /// Probability that the Wi-Fi channel is busy at any instant (ambient load).
+  /// Values outside [0, 1] are clamped by the evaluators (NaN -> 0).
   Real channel_busy_probability = 0.3;
   /// Probability the tag's peak detector sees the CTS (RTS schemes).
+  /// Values outside [0, 1] are clamped by the evaluators (NaN -> 0).
   Real cts_detection_probability = 0.95;
+
+  /// Copy of this config with both probabilities clamped into [0, 1].
+  /// Out-of-range inputs would otherwise silently produce negative clean
+  /// transmission counts / collision fractions above 1.
+  ReservationConfig validated() const;
 };
+
+/// Closed-form per-opportunity outcome of a reservation scheme over one
+/// advertising event (three advertisements on channels 37/38/39). The
+/// Monte-Carlo evaluate_reservation() must agree with these in expectation
+/// (asserted in tests); the network simulator uses them directly so that a
+/// polled reply costs O(1) instead of a per-event Monte-Carlo loop.
+struct ReservationOutcome {
+  /// Of the three advertisements, how many can carry backscatter data
+  /// (kTagRts burns channel 37 on the RTS).
+  Real data_slots_per_event = 3.0;
+  /// Per data slot: delivered without colliding with ambient traffic.
+  Real p_clean = 0.0;
+  /// Per data slot: transmitted but collided.
+  Real p_collision = 0.0;
+  /// Per data slot: tag stayed silent (reservation not granted).
+  Real p_silent = 0.0;
+  /// Tag airtime spent on control rather than data, us per event.
+  Real control_overhead_us = 0.0;
+};
+ReservationOutcome reservation_outcome(const ReservationConfig& cfg);
 
 struct ReservationResult {
   /// Per advertising event: how many of the (up to 3) backscatter

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itb::sim {
+
+bool event_before(const Event& a, const Event& b) {
+  if (a.time_us != b.time_us) return a.time_us < b.time_us;
+  if (a.type != b.type) return a.type < b.type;
+  if (a.entity != b.entity) return a.entity < b.entity;
+  return a.seq < b.seq;
+}
+
+namespace {
+
+// std::push_heap/pop_heap build a max-heap, so invert the order.
+bool heap_after(const Event& a, const Event& b) { return event_before(b, a); }
+
+}  // namespace
+
+void EventQueue::schedule(double time_us, EventType type, std::uint32_t entity,
+                          std::uint64_t data) {
+  if (time_us < now_us_) {
+    throw std::logic_error("EventQueue::schedule: event lies in the past");
+  }
+  heap_.push_back(Event{time_us, type, entity, data, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop: queue is empty");
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  const Event out = heap_.back();
+  heap_.pop_back();
+  now_us_ = out.time_us;
+  return out;
+}
+
+}  // namespace itb::sim

@@ -1,0 +1,80 @@
+// Discrete-event engine core for the multi-tag network simulator.
+//
+// A monotonic min-heap of typed events with a *total* deterministic order:
+// events are popped by (time, type, entity, seq), where seq is the creation
+// order within the queue. Two events at the same instant therefore always
+// pop in the same order, independent of heap internals, platform, or how
+// the schedule was built up — the foundation of the subsystem's
+// bit-identical-at-any-thread-count contract (see DESIGN.md "Network
+// simulator determinism").
+//
+// RNG discipline: event handlers never share an RNG. Every stochastic
+// decision draws from a counter-based substream keyed by the entity and a
+// per-entity counter (entity_stream(), reusing the Monte-Carlo
+// trial_seed() mix), so outcomes depend only on *which* decision is being
+// made, never on global event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/monte_carlo.h"
+#include "dsp/rng.h"
+
+namespace itb::sim {
+
+enum class EventType : std::uint8_t {
+  kQuery = 0,   ///< AP transmits a downlink query addressed to a tag
+  kReply = 1,   ///< the addressed tag backscatters during the adv window
+  kHarvest = 2, ///< energy-harvest accounting checkpoint
+  kCustom = 3,  ///< engine-agnostic user event
+};
+
+struct Event {
+  double time_us = 0.0;
+  EventType type = EventType::kCustom;
+  std::uint32_t entity = 0;  ///< tag / AP / helper index (engine-agnostic)
+  std::uint64_t data = 0;    ///< opaque payload (e.g. polling round)
+  std::uint64_t seq = 0;     ///< creation order; final tie-break key
+};
+
+/// Strict weak ordering: earliest time first, ties broken by
+/// (type, entity, seq). Total because seq is unique per queue.
+bool event_before(const Event& a, const Event& b);
+
+class EventQueue {
+ public:
+  /// Schedules an event. time_us must not lie before the last popped event
+  /// (the simulation clock only moves forward); violating this throws
+  /// std::logic_error in all build modes — scheduling in the past is a bug
+  /// that would silently break determinism if tolerated.
+  void schedule(double time_us, EventType type, std::uint32_t entity,
+                std::uint64_t data = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pops the globally-next event. Must not be called on an empty queue
+  /// (throws std::logic_error). Advances now_us().
+  Event pop();
+
+  /// Simulation clock: the timestamp of the last popped event.
+  double now_us() const { return now_us_; }
+
+ private:
+  std::vector<Event> heap_;  ///< binary min-heap under event_before
+  std::uint64_t next_seq_ = 0;
+  double now_us_ = 0.0;
+};
+
+/// Deterministic per-(entity, decision) RNG substream. Thin wrapper over
+/// core::trial_seed so the sim layer shares the DESIGN.md substream scheme
+/// with the Monte-Carlo engine: the stream depends only on the sim seed and
+/// the (entity, counter) coordinates, never on event interleaving.
+inline itb::dsp::Xoshiro256 entity_stream(std::uint64_t sim_seed,
+                                          std::uint32_t entity,
+                                          std::uint64_t counter) {
+  return itb::dsp::Xoshiro256(itb::core::trial_seed(sim_seed, entity, counter));
+}
+
+}  // namespace itb::sim

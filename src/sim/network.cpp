@@ -1,0 +1,453 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ble/channel_map.h"
+#include "channel/awgn.h"
+#include "core/interscatter.h"
+#include "core/parallel.h"
+#include "dsp/units.h"
+#include "sim/event_queue.h"
+
+namespace itb::sim {
+
+namespace {
+
+/// 47-byte BLE advertising packet at 1 Mbps; the helper repeats it on the
+/// three advertising channels every interval, illuminating (and powering)
+/// the tags in range.
+constexpr Real kAdvPacketUs = 376.0;
+
+/// CCA energy-detect threshold: leakage below this never makes the victim
+/// channel look busy, it only raises the noise floor.
+constexpr Real kCcaThresholdDbm = -62.0;
+
+/// RNG phase salts: every (tag, round) poll uses two independent substreams
+/// so the reply draws never depend on how many draws the query phase made.
+constexpr std::uint64_t kQueryPhase = 0;
+constexpr std::uint64_t kReplyPhase = 1;
+
+std::uint64_t phase_counter(std::uint64_t round, std::uint64_t phase) {
+  return round * 2 + phase;
+}
+
+struct Shard {
+  std::size_t group = 0;
+  std::size_t begin = 0;  ///< slot range within the group's tag list
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
+  if (cfg_.wifi_channels.empty()) {
+    throw std::invalid_argument("NetworkConfig: no Wi-Fi channels");
+  }
+  if (cfg_.shard_tags == 0) cfg_.shard_tags = 256;
+  placement_ = generate_topology(cfg_.topology);
+  const std::size_t n = placement_.tags.size();
+  if (n > 0 && (placement_.helpers.empty() || placement_.aps.empty())) {
+    throw std::invalid_argument(
+        "NetworkConfig: tags present but no helpers or no APs");
+  }
+
+  const std::size_t num_groups = cfg_.wifi_channels.size();
+  group_tags_.assign(num_groups, {});
+  links_.resize(n);
+  channels_.assign(num_groups, {});
+
+  const Real ble_hz = itb::ble::ChannelMap::frequency_hz(cfg_.ble_channel);
+
+  // --- per-tag link budgets (pure geometry + closed forms) -----------------
+  itb::channel::LogDistanceModel pl;
+  pl.exponent = cfg_.pathloss_exponent;
+  for (std::size_t t = 0; t < n; ++t) {
+    TagLink& link = links_[t];
+    // FDMA: balance groups round-robin by tag id. Deterministic and keeps
+    // every channel's TDMA round the same length to within one tag.
+    const std::size_t g = t % num_groups;
+    link.wifi_channel = cfg_.wifi_channels[g];
+    group_tags_[g].push_back(static_cast<std::uint32_t>(t));
+
+    link.helper = static_cast<std::uint32_t>(
+        nearest_index(placement_.helpers, placement_.tags[t]));
+    link.ap = static_cast<std::uint32_t>(
+        nearest_index(placement_.aps, placement_.tags[t]));
+    link.helper_distance_m =
+        distance_m(placement_.helpers[link.helper], placement_.tags[t]);
+    link.ap_distance_m =
+        distance_m(placement_.aps[link.ap], placement_.tags[t]);
+    // The pathloss model diverges as d -> 0; a tag is never closer than a
+    // few cm to either radio.
+    link.helper_distance_m = std::max(link.helper_distance_m, Real{0.05});
+    link.ap_distance_m = std::max(link.ap_distance_m, Real{0.05});
+
+    itb::channel::BackscatterLinkConfig budget;
+    budget.ble_tx_power_dbm = cfg_.ble_tx_power_dbm;
+    budget.ble_tag_distance_m = link.helper_distance_m;
+    budget.tag_medium_loss_db = cfg_.tag_medium_loss_db;
+    budget.rx_noise_figure_db = cfg_.rx_noise_figure_db;
+    budget.pathloss.exponent = cfg_.pathloss_exponent;
+    const itb::channel::LinkSample s =
+        itb::channel::backscatter_rssi(budget, link.ap_distance_m);
+    link.reply_rssi_dbm = s.rssi_dbm;
+    link.snr_db = s.snr_db;
+
+    // Downlink: the AP's OFDM-AM query must clear the tag's peak detector
+    // after the tissue loss; below sensitivity the tag never hears it.
+    link.downlink_rssi_dbm =
+        itb::channel::direct_rssi_dbm(cfg_.ap_tx_power_dbm, 2.0, 2.0, pl,
+                                      link.ap_distance_m) -
+        cfg_.tag_medium_loss_db;
+    link.downlink_miss_prob =
+        link.downlink_rssi_dbm < cfg_.detector_sensitivity_dbm
+            ? 1.0
+            : cfg_.polling.downlink_error_rate;
+  }
+
+  // --- per-group airtime occupancy and mean reply power --------------------
+  const double slot_us = mac::poll_slot_us(cfg_.polling);
+  const double frame_us =
+      itb::wifi::frame_airtime_us(cfg_.rate, cfg_.payload_bytes);
+  std::vector<Real> mean_reply_watts(num_groups, 0.0);
+  std::vector<Real> occupancy(num_groups, 0.0);
+  {
+    mac::ReservationConfig rc;
+    rc.scheme = cfg_.reservation;
+    rc.channel_busy_probability = cfg_.ambient_busy_probability;
+    rc.cts_detection_probability = cfg_.cts_detection_probability;
+    const mac::ReservationOutcome base = mac::reservation_outcome(rc);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (group_tags_[g].empty()) continue;
+      Real watts = 0.0;
+      Real transmit_prob = 0.0;
+      for (const std::uint32_t t : group_tags_[g]) {
+        watts += itb::dsp::dbm_to_watts(links_[t].reply_rssi_dbm);
+        transmit_prob += (1.0 - links_[t].downlink_miss_prob) *
+                         (base.p_clean + base.p_collision);
+      }
+      const auto sz = static_cast<Real>(group_tags_[g].size());
+      mean_reply_watts[g] = watts / sz;
+      // TDMA serializes the group: at most one reply is on the air, for
+      // frame_us of every slot_us, whenever the polled tag transmits.
+      occupancy[g] = frame_us / slot_us * (transmit_prob / sz);
+    }
+  }
+
+  // --- cross-channel SSB mirror leakage ------------------------------------
+  // Group a's replies sit at f_a = ble + shift_a; the imperfect single
+  // sideband leaves a mirror at ble - shift_a = 2*ble - f_a, suppressed by
+  // ssb_sideband_suppression_db. Where the mirror overlaps victim group v's
+  // 22 MHz channel, the victim's noise floor rises in proportion to the
+  // aggressor's airtime occupancy.
+  const Real noise_watts = itb::dsp::dbm_to_watts(
+      itb::channel::thermal_noise_dbm(22e6, cfg_.rx_noise_figure_db));
+  for (std::size_t v = 0; v < num_groups; ++v) {
+    ChannelStats& ch = channels_[v];
+    ch.wifi_channel = cfg_.wifi_channels[v];
+    ch.tags = group_tags_[v].size();
+    ch.occupancy = occupancy[v];
+    ch.elapsed_us = static_cast<double>(cfg_.rounds) *
+                    static_cast<double>(group_tags_[v].size()) * slot_us;
+
+    const Real f_v = itb::ble::wifi_channel_hz(cfg_.wifi_channels[v]);
+    Real interference_watts = 0.0;
+    Real busy = cfg_.ambient_busy_probability;
+    for (std::size_t a = 0; a < num_groups; ++a) {
+      if (a == v || group_tags_[a].empty()) continue;
+      const Real f_a = itb::ble::wifi_channel_hz(cfg_.wifi_channels[a]);
+      const Real mirror_hz = 2.0 * ble_hz - f_a;
+      const Real overlap =
+          std::max(Real{0.0}, 1.0 - std::abs(mirror_hz - f_v) / 22e6);
+      if (overlap <= 0.0) continue;
+      const Real leak_watts =
+          mean_reply_watts[a] *
+          itb::dsp::db_to_ratio(-cfg_.ssb_sideband_suppression_db) * overlap;
+      interference_watts += occupancy[a] * leak_watts;
+      // Strong leakage can additionally trip the victim's CCA.
+      if (itb::dsp::watts_to_dbm(leak_watts) > kCcaThresholdDbm) {
+        busy += occupancy[a] * overlap;
+      }
+    }
+    ch.leakage_noise_rise_db =
+        itb::dsp::ratio_to_db(1.0 + interference_watts / noise_watts);
+    ch.busy_probability = std::min(busy, Real{0.99});
+  }
+
+  // --- leakage-degraded reply PER per tag ----------------------------------
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (const std::uint32_t t : group_tags_[g]) {
+      links_[t].reply_per = itb::channel::per_80211b(
+          cfg_.rate, links_[t].snr_db - channels_[g].leakage_noise_rise_db,
+          cfg_.payload_bytes);
+    }
+  }
+}
+
+NetworkStats NetworkCoordinator::run() const {
+  const std::size_t n = placement_.tags.size();
+  const std::size_t num_groups = group_tags_.size();
+  const double slot_us = mac::poll_slot_us(cfg_.polling);
+  const double query_us = static_cast<double>(mac::QueryFrame::kBits) /
+                          cfg_.polling.downlink_kbps * 1e3;
+  const double frame_us =
+      itb::wifi::frame_airtime_us(cfg_.rate, cfg_.payload_bytes);
+  const double payload_bits = static_cast<double>(cfg_.payload_bytes) * 8.0;
+
+  // Per-group reservation outcome (closed form, O(1) per reply).
+  std::vector<mac::ReservationOutcome> outcome(num_groups);
+  std::vector<double> round_us(num_groups, 0.0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    mac::ReservationConfig rc;
+    rc.scheme = cfg_.reservation;
+    rc.channel_busy_probability = channels_[g].busy_probability;
+    rc.cts_detection_probability = cfg_.cts_detection_probability;
+    outcome[g] = mac::reservation_outcome(rc);
+    round_us[g] =
+        static_cast<double>(group_tags_[g].size()) * slot_us;
+  }
+
+  // Fixed shard partition: contiguous slot ranges within each group,
+  // independent of num_threads (part of the result's identity).
+  std::vector<Shard> shards;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (std::size_t b = 0; b < group_tags_[g].size(); b += cfg_.shard_tags) {
+      shards.push_back(
+          {g, b, std::min(b + cfg_.shard_tags, group_tags_[g].size())});
+    }
+  }
+
+  std::vector<TagStats> tag_stats(n);
+  std::vector<LatencyHistogram> shard_latency(shards.size());
+
+  itb::core::parallel_for(
+      shards.size(), cfg_.num_threads, [&](std::size_t si) {
+        const Shard& sh = shards[si];
+        const std::size_t g = sh.group;
+        const mac::ReservationOutcome& oc = outcome[g];
+        const double control_amortized_us =
+            oc.data_slots_per_event > 0.0
+                ? oc.control_overhead_us / oc.data_slots_per_event
+                : 0.0;
+        LatencyHistogram& latency = shard_latency[si];
+
+        EventQueue queue;
+        // Schedule every poll this shard owns: tag at TDMA slot s, round r
+        // is queried at r*round + s*slot on its group's timeline. The event
+        // payload packs (slot << 32 | round) so handlers recover both.
+        for (std::size_t s = sh.begin; s < sh.end; ++s) {
+          const std::uint32_t tag = group_tags_[g][s];
+          for (std::size_t r = 0; r < cfg_.rounds; ++r) {
+            queue.schedule(
+                static_cast<double>(r) * round_us[g] +
+                    static_cast<double>(s) * slot_us,
+                EventType::kQuery, tag,
+                (static_cast<std::uint64_t>(s) << 32) | r);
+          }
+        }
+
+        // Payload generation time of each tag's currently-pending payload
+        // (latency is measured from here to successful delivery; a failed
+        // poll retries the same payload next round).
+        std::vector<double> pending_since(sh.end - sh.begin, 0.0);
+
+        while (!queue.empty()) {
+          const Event ev = queue.pop();
+          const std::uint32_t tag = ev.entity;
+          TagStats& ts = tag_stats[tag];
+          const std::uint64_t round = ev.data & 0xFFFFFFFFULL;
+          const auto slot = static_cast<std::size_t>(ev.data >> 32);
+
+          if (ev.type == EventType::kQuery) {
+            ++ts.queries;
+            auto rng = entity_stream(cfg_.seed, tag,
+                                     phase_counter(round, kQueryPhase));
+            if (rng.uniform() < links_[tag].downlink_miss_prob) {
+              ++ts.downlink_misses;
+              continue;
+            }
+            // The addressed tag replies mid-way through the advertising
+            // window that follows the query.
+            queue.schedule(ev.time_us + query_us +
+                               0.5 * cfg_.polling.advertising_interval_ms * 1e3,
+                           EventType::kReply, tag, ev.data);
+            continue;
+          }
+
+          // kReply: reservation outcome, then budget-level decode.
+          auto rng =
+              entity_stream(cfg_.seed, tag, phase_counter(round, kReplyPhase));
+          ts.airtime_us += control_amortized_us;
+          const double u = rng.uniform();
+          if (u >= oc.p_clean + oc.p_collision) {
+            ++ts.reservation_denied;  // silent: reservation not granted
+            continue;
+          }
+          ts.airtime_us += frame_us;
+          if (u >= oc.p_clean) {
+            ++ts.collisions;
+            continue;
+          }
+          if (rng.uniform() < links_[tag].reply_per) {
+            ++ts.decode_failures;
+            continue;
+          }
+          ++ts.replies;
+          ts.payload_bits += payload_bits;
+          const std::size_t shard_slot = slot - sh.begin;
+          const double done_us = ev.time_us + frame_us;
+          latency.record(done_us - pending_since[shard_slot]);
+          pending_since[shard_slot] =
+              static_cast<double>(round + 1) * round_us[g];
+        }
+
+        // Static per-tag link annotations + deterministic harvest model.
+        for (std::size_t s = sh.begin; s < sh.end; ++s) {
+          const std::uint32_t tag = group_tags_[g][s];
+          TagStats& ts = tag_stats[tag];
+          ts.tag_id = tag;
+          ts.wifi_channel = links_[tag].wifi_channel;
+          ts.helper = links_[tag].helper;
+          ts.ap = links_[tag].ap;
+          ts.snr_db =
+              links_[tag].snr_db - channels_[g].leakage_noise_rise_db;
+          ts.reply_per = links_[tag].reply_per;
+          // The helper advertises every interval for the whole timeline and
+          // illuminates all its tags — not just the one being polled — so
+          // harvest time is independent of fleet size; the AP's queries add
+          // the tag's own downlink illumination on top.
+          const double adv_events =
+              channels_[g].elapsed_us /
+              (cfg_.polling.advertising_interval_ms * 1e3);
+          ts.harvest_us = adv_events * 3.0 * kAdvPacketUs +
+                          static_cast<double>(ts.queries) * query_us;
+        }
+      });
+
+  // --- sequential, index-ordered reduction (thread-count invariant) --------
+  NetworkStats out;
+  out.num_tags = n;
+  out.num_channels = num_groups;
+  out.channels = channels_;
+  for (ChannelStats& ch : out.channels) {
+    ch.replies = 0;
+    ch.collisions = 0;
+  }
+  for (const LatencyHistogram& h : shard_latency) out.query_latency.merge(h);
+
+  const itb::backscatter::IcPowerModel power(cfg_.ic_power);
+  const Real ble_hz = itb::ble::ChannelMap::frequency_hz(cfg_.ble_channel);
+  double total_bits = 0.0;
+  double sum_tag_goodput = 0.0;
+  double sum_airtime_duty = 0.0;
+  double sum_harvest_duty = 0.0;
+  double sum_power_uw = 0.0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    out.elapsed_us = std::max(out.elapsed_us, channels_[g].elapsed_us);
+  }
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const double elapsed = channels_[g].elapsed_us;
+    const Real shift_hz =
+        itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]) - ble_hz;
+    for (const std::uint32_t t : group_tags_[g]) {
+      const TagStats& ts = tag_stats[t];
+      out.queries_sent += ts.queries;
+      out.replies_received += ts.replies;
+      out.downlink_misses += ts.downlink_misses;
+      out.reservation_denied += ts.reservation_denied;
+      out.collisions += ts.collisions;
+      out.decode_failures += ts.decode_failures;
+      out.channels[g].replies += ts.replies;
+      out.channels[g].collisions += ts.collisions;
+      total_bits += ts.payload_bits;
+      sum_tag_goodput += mac::safe_goodput_kbps(ts.payload_bits, elapsed);
+      const double airtime_duty =
+          elapsed > 0.0 ? ts.airtime_us / elapsed : 0.0;
+      const double harvest_duty =
+          elapsed > 0.0 ? ts.harvest_us / elapsed : 0.0;
+      sum_airtime_duty += airtime_duty;
+      sum_harvest_duty += harvest_duty;
+      sum_power_uw += power.average_power_uw(cfg_.rate, std::abs(shift_hz),
+                                             std::min(airtime_duty, 1.0));
+    }
+  }
+  out.aggregate_goodput_kbps =
+      mac::safe_goodput_kbps(total_bits, out.elapsed_us);
+  if (n > 0) {
+    const auto dn = static_cast<double>(n);
+    out.mean_tag_goodput_kbps = sum_tag_goodput / dn;
+    out.mean_airtime_duty = sum_airtime_duty / dn;
+    out.mean_harvest_duty = sum_harvest_duty / dn;
+    out.mean_tag_power_uw = sum_power_uw / dn;
+  }
+  if (cfg_.keep_per_tag) out.per_tag = std::move(tag_stats);
+  return out;
+}
+
+std::vector<SpotCheckResult> NetworkCoordinator::spot_check_waveform(
+    std::size_t links) const {
+  std::vector<SpotCheckResult> out;
+  const std::size_t n = placement_.tags.size();
+  if (n == 0 || links == 0) return out;
+  links = std::min(links, n);
+
+  // Sample round-robin across the FDMA groups (then strided within each
+  // group) so the cross-check always exercises every Wi-Fi channel's SSB
+  // shift; a plain stride over tag ids would alias with the round-robin
+  // channel assignment and could sample a single channel.
+  const std::size_t num_groups = group_tags_.size();
+  const std::size_t per_group = (links + num_groups - 1) / num_groups;
+  for (std::size_t i = 0; i < links; ++i) {
+    const std::size_t g = i % num_groups;
+    const std::vector<std::uint32_t>& group = group_tags_[g];
+    if (group.empty()) continue;
+    const std::size_t inner_stride =
+        std::max<std::size_t>(1, group.size() / per_group);
+    const std::size_t j = std::min((i / num_groups) * inner_stride,
+                                   group.size() - 1);
+    const std::size_t t = group[j];
+    const TagLink& link = links_[t];
+
+    itb::core::UplinkScenario s;
+    s.ble_tag_distance_m = link.helper_distance_m;
+    s.tag_rx_distance_m = link.ap_distance_m;
+    s.ble_tx_power_dbm = cfg_.ble_tx_power_dbm;
+    s.ble_channel = cfg_.ble_channel;
+    s.wifi_channel = link.wifi_channel;
+    s.rate = cfg_.rate;
+    s.tag_medium_loss_db = cfg_.tag_medium_loss_db;
+    s.pathloss_exponent = cfg_.pathloss_exponent;
+    s.rx_noise_figure_db = cfg_.rx_noise_figure_db;
+    s.seed = itb::core::trial_seed(cfg_.seed, t, 0xC0FFEE);
+
+    const itb::core::InterscatterSystem sys(s);
+    itb::phy::Bytes psdu(cfg_.payload_bytes);
+    for (std::size_t b = 0; b < psdu.size(); ++b) {
+      psdu[b] = static_cast<std::uint8_t>(b * 31 + 7 + t);
+    }
+    const auto wf = sys.simulate_frame(psdu);
+    // Compare against the budget PER at the raw link SNR: the waveform path
+    // has no cross-channel aggressors, so leakage is excluded on both sides.
+    const double per =
+        itb::channel::per_80211b(cfg_.rate, link.snr_db, cfg_.payload_bytes);
+
+    SpotCheckResult r;
+    r.tag_id = static_cast<std::uint32_t>(t);
+    r.budget_per = per;
+    r.budget_snr_db = link.snr_db;
+    r.waveform_decoded = wf.payload_ok;
+    if (per < 0.1) {
+      r.consistent = wf.payload_ok;
+    } else if (per > 0.9) {
+      r.consistent = !wf.payload_ok;
+    } else {
+      r.consistent = true;  // coin-flip region: either outcome is plausible
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace itb::sim

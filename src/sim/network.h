@@ -1,0 +1,145 @@
+// NetworkCoordinator: composes the repo's per-link primitives into a
+// network-level simulation of a fleet of interscatter implants (paper §2.5
+// scaled up: the paper coordinates "multiple" tags; the roadmap wants
+// thousands).
+//
+// Coordination model:
+//   FDMA — tags are partitioned into groups, one per configured Wi-Fi
+//     channel; each group's replies land on its own 802.11b channel (the
+//     tag's SSB shift selects the channel, paper §2.3.2). Groups run
+//     concurrent, independent TDMA timelines.
+//   TDMA — inside a group, the AP round-robin polls its tags over the
+//     OFDM-AM downlink (mac/query_reply slot arithmetic); the addressed
+//     tag replies during the next advertising window.
+//   Reservation — each reply's collision/silence outcome follows the
+//     closed-form mac::reservation_outcome() for the configured scheme.
+//   Cross-channel leakage — single-sideband backscatter suppresses, but
+//     does not eliminate, the mirror sideband (paper Fig. 6/12). A group's
+//     mirror lands at 2*f_ble - f_wifi; where that falls inside another
+//     group's channel, the victim sees a deterministic noise-floor rise
+//     proportional to the aggressor's airtime occupancy, degrading its
+//     reply SNR and raising its busy probability.
+//
+// Fidelity: every link outcome is drawn at *budget level* (channel/link.h
+// closed forms), so 5000 tags simulate in seconds. spot_check_waveform()
+// optionally re-simulates a deterministic sample of links through the full
+// waveform pipeline (core::InterscatterSystem) and reports agreement — the
+// network-level extension of the budget-vs-waveform cross-check in
+// tests/full_loop_test.cpp.
+//
+// Determinism: see DESIGN.md "Network simulator determinism". Shards are a
+// fixed partition of the tag list (independent of thread count), each shard
+// runs its own EventQueue, every stochastic decision draws from an
+// entity_stream() substream keyed by (tag, round), and the final reduction
+// is a sequential index-ordered merge — so run() is bit-identical at any
+// thread count (asserted in tests/sim_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backscatter/ic_power.h"
+#include "channel/link.h"
+#include "mac/query_reply.h"
+#include "mac/reservation.h"
+#include "sim/stats.h"
+#include "sim/topology.h"
+#include "wifi/rates.h"
+
+namespace itb::sim {
+
+struct NetworkConfig {
+  TopologyConfig topology{};
+  /// FDMA groups: one tag group per listed 2.4 GHz Wi-Fi channel.
+  std::vector<unsigned> wifi_channels = {1, 6, 11};
+  /// BLE advertising channel of the helpers driving the tags (the SSB shift
+  /// for each group is wifi_channel_hz - ble_channel_hz).
+  unsigned ble_channel = 38;
+  itb::wifi::DsssRate rate = itb::wifi::DsssRate::k2Mbps;
+  std::size_t payload_bytes = 30;
+  /// TDMA polling rounds per group: each round polls every tag once.
+  std::size_t rounds = 8;
+  mac::PollingConfig polling{};
+  mac::ReservationScheme reservation = mac::ReservationScheme::kDataAsRts;
+  /// Ambient (non-backscatter) Wi-Fi load on every channel.
+  Real ambient_busy_probability = 0.1;
+  Real cts_detection_probability = 0.95;
+  /// How much the tag's SSB suppresses the mirror sideband (paper measures
+  /// ~20 dB; Fig. 6).
+  Real ssb_sideband_suppression_db = 20.0;
+  // --- link budget inputs (shared with channel/link.h) -----------------
+  Real ble_tx_power_dbm = 10.0;
+  Real pathloss_exponent = 2.2;
+  Real rx_noise_figure_db = 6.0;
+  Real tag_medium_loss_db = 3.0;  ///< implanted: one-way tissue loss
+  /// Tag peak-detector sensitivity for the downlink (paper: -32 dBm).
+  Real detector_sensitivity_dbm = -32.0;
+  Real ap_tx_power_dbm = 15.0;
+  backscatter::IcPowerConfig ic_power{};
+  // --- execution -------------------------------------------------------
+  std::uint64_t seed = 1;
+  /// Worker threads for the shard fan-out; 0 = all hardware threads.
+  /// Never affects results, only wall time.
+  std::size_t num_threads = 1;
+  /// Tags per shard. Part of the *result identity* (fixed partition), so it
+  /// is a config knob and never derived from num_threads.
+  std::size_t shard_tags = 256;
+  bool keep_per_tag = true;
+};
+
+/// Precomputed per-tag link state (pure function of config + topology).
+struct TagLink {
+  std::uint32_t helper = 0;  ///< nearest BLE helper
+  std::uint32_t ap = 0;      ///< nearest AP (receives this group's replies)
+  unsigned wifi_channel = 0;
+  Real helper_distance_m = 0.0;
+  Real ap_distance_m = 0.0;
+  Real reply_rssi_dbm = 0.0;  ///< budget-level reply RSSI at the AP
+  Real snr_db = 0.0;          ///< reply SNR before leakage noise rise
+  Real downlink_rssi_dbm = 0.0;
+  Real downlink_miss_prob = 0.0;
+  Real reply_per = 0.0;       ///< PER at the leakage-degraded SNR
+};
+
+/// One sampled link re-run at waveform level next to its budget prediction.
+struct SpotCheckResult {
+  std::uint32_t tag_id = 0;
+  double budget_per = 0.0;
+  double budget_snr_db = 0.0;
+  bool waveform_decoded = false;
+  /// Budget and waveform agree: a link the budget calls near-certain
+  /// (PER < 0.1) decoded, one it calls near-dead (PER > 0.9) did not;
+  /// in-between links are accepted either way.
+  bool consistent = false;
+};
+
+class NetworkCoordinator {
+ public:
+  explicit NetworkCoordinator(const NetworkConfig& cfg);
+
+  /// Runs the full FDMA x TDMA simulation. Bit-identical for a fixed config
+  /// at any num_threads.
+  NetworkStats run() const;
+
+  /// Re-simulates `links` deterministically-sampled tag links through the
+  /// waveform pipeline (core::InterscatterSystem) and compares the decode
+  /// outcome against the budget-level PER the network simulation used.
+  std::vector<SpotCheckResult> spot_check_waveform(std::size_t links) const;
+
+  // Introspection (tests, benches, examples).
+  const NetworkConfig& config() const { return cfg_; }
+  const Placement& placement() const { return placement_; }
+  const std::vector<TagLink>& links() const { return links_; }
+  const std::vector<ChannelStats>& channel_plan() const { return channels_; }
+
+ private:
+  NetworkConfig cfg_;
+  Placement placement_;
+  std::vector<TagLink> links_;          ///< indexed by tag id
+  std::vector<ChannelStats> channels_;  ///< per FDMA group (plan-time fields)
+  /// Tag ids grouped by FDMA channel, each group in ascending id order;
+  /// a tag's TDMA slot is its position in its group.
+  std::vector<std::vector<std::uint32_t>> group_tags_;
+};
+
+}  // namespace itb::sim

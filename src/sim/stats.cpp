@@ -1,0 +1,124 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace itb::sim {
+
+std::size_t LatencyHistogram::bin_for(double us) {
+  if (!(us > kFloorUs)) return 0;
+  const double b = std::log(us / kFloorUs) / std::log(kGrowth);
+  const auto idx = static_cast<std::size_t>(b);
+  return std::min(idx, kBins - 1);
+}
+
+double LatencyHistogram::bin_upper_us(std::size_t b) {
+  return kFloorUs * std::pow(kGrowth, static_cast<double>(b) + 1.0);
+}
+
+void LatencyHistogram::record(double us) {
+  ++counts[bin_for(us)];
+  ++total;
+  sum_us += us;
+  max_us = std::max(max_us, us);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBins; ++b) counts[b] += other.counts[b];
+  total += other.total;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+}
+
+double LatencyHistogram::mean_us() const {
+  return total == 0 ? 0.0 : sum_us / static_cast<double>(total);
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    seen += counts[b];
+    if (seen >= target) return bin_upper_us(b);
+  }
+  return bin_upper_us(kBins - 1);
+}
+
+namespace {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+void mix_histogram(Fnv1a& h, const LatencyHistogram& lat) {
+  for (const auto c : lat.counts) h.mix(c);
+  h.mix(lat.total);
+  h.mix(lat.sum_us);
+  h.mix(lat.max_us);
+}
+
+}  // namespace
+
+std::uint64_t NetworkStats::digest() const {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(num_tags));
+  h.mix(static_cast<std::uint64_t>(num_channels));
+  h.mix(elapsed_us);
+  h.mix(queries_sent);
+  h.mix(replies_received);
+  h.mix(downlink_misses);
+  h.mix(reservation_denied);
+  h.mix(collisions);
+  h.mix(decode_failures);
+  h.mix(aggregate_goodput_kbps);
+  h.mix(mean_tag_goodput_kbps);
+  mix_histogram(h, query_latency);
+  h.mix(mean_airtime_duty);
+  h.mix(mean_harvest_duty);
+  h.mix(mean_tag_power_uw);
+  for (const ChannelStats& c : channels) {
+    h.mix(static_cast<std::uint64_t>(c.wifi_channel));
+    h.mix(static_cast<std::uint64_t>(c.tags));
+    h.mix(c.occupancy);
+    h.mix(c.leakage_noise_rise_db);
+    h.mix(c.busy_probability);
+    h.mix(c.replies);
+    h.mix(c.collisions);
+    h.mix(c.elapsed_us);
+  }
+  for (const TagStats& t : per_tag) {
+    h.mix(static_cast<std::uint64_t>(t.tag_id));
+    h.mix(static_cast<std::uint64_t>(t.wifi_channel));
+    h.mix(static_cast<std::uint64_t>(t.helper));
+    h.mix(static_cast<std::uint64_t>(t.ap));
+    h.mix(t.queries);
+    h.mix(t.replies);
+    h.mix(t.downlink_misses);
+    h.mix(t.reservation_denied);
+    h.mix(t.collisions);
+    h.mix(t.decode_failures);
+    h.mix(t.payload_bits);
+    h.mix(t.airtime_us);
+    h.mix(t.harvest_us);
+    h.mix(t.snr_db);
+    h.mix(t.reply_per);
+  }
+  return h.value();
+}
+
+}  // namespace itb::sim

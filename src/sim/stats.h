@@ -1,0 +1,107 @@
+// Aggregate statistics emitted by the network simulator.
+//
+// Everything here is designed for order-independent accumulation: shards
+// accumulate into disjoint per-tag slots during the parallel phase, and the
+// final reduction walks tags in index order on one thread, so the merged
+// NetworkStats is bit-identical at any thread count. digest() condenses the
+// full result (including every per-tag counter and double bit pattern) into
+// one FNV-1a hash, which the determinism tests compare across thread
+// counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace itb::sim {
+
+using itb::dsp::Real;
+
+/// Fixed-bin log-spaced latency histogram (50 us .. ~5000 s). Fixed edges
+/// make quantiles a pure function of the counts, so they are deterministic
+/// under any accumulation order.
+struct LatencyHistogram {
+  static constexpr std::size_t kBins = 64;
+  /// Bin b spans [kFloorUs * kGrowth^b, kFloorUs * kGrowth^(b+1)).
+  static constexpr double kFloorUs = 50.0;
+  static constexpr double kGrowth = 1.333521432163324;  // 8 bins per decade
+
+  std::array<std::uint64_t, kBins> counts{};
+  std::uint64_t total = 0;
+  double sum_us = 0.0;
+  double max_us = 0.0;
+
+  static std::size_t bin_for(double us);
+  /// Upper edge of bin b (us).
+  static double bin_upper_us(std::size_t b);
+
+  void record(double us);
+  void merge(const LatencyHistogram& other);
+  double mean_us() const;
+  /// Upper edge of the bin holding the q-quantile sample (q in [0, 1]);
+  /// 0 when empty.
+  double quantile_us(double q) const;
+};
+
+/// Per-tag accounting, written by exactly one shard (disjoint slots).
+struct TagStats {
+  std::uint32_t tag_id = 0;
+  unsigned wifi_channel = 0;      ///< FDMA group the tag replies on
+  std::uint32_t helper = 0;       ///< nearest BLE helper index
+  std::uint32_t ap = 0;           ///< nearest same-channel AP index
+  std::uint64_t queries = 0;      ///< polls addressed to this tag
+  std::uint64_t replies = 0;      ///< successfully decoded replies
+  std::uint64_t downlink_misses = 0;
+  std::uint64_t reservation_denied = 0;  ///< stayed silent (RTS not granted)
+  std::uint64_t collisions = 0;
+  std::uint64_t decode_failures = 0;
+  double payload_bits = 0.0;
+  double airtime_us = 0.0;   ///< tag transmit airtime (data + control)
+  double harvest_us = 0.0;   ///< time illuminated by helper/AP carriers
+  double snr_db = 0.0;       ///< budget-level reply SNR (after leakage rise)
+  double reply_per = 0.0;    ///< closed-form PER at that SNR
+};
+
+/// Per-Wi-Fi-channel (FDMA group) accounting.
+struct ChannelStats {
+  unsigned wifi_channel = 0;
+  std::size_t tags = 0;
+  double occupancy = 0.0;  ///< fraction of sim time replies occupy the air
+  /// Noise-floor rise (dB) from other groups' SSB mirror leakage.
+  double leakage_noise_rise_db = 0.0;
+  double busy_probability = 0.0;  ///< ambient + leakage, used by reservation
+  std::uint64_t replies = 0;
+  std::uint64_t collisions = 0;
+  double elapsed_us = 0.0;  ///< this group's TDMA timeline length
+};
+
+struct NetworkStats {
+  std::size_t num_tags = 0;
+  std::size_t num_channels = 0;
+  double elapsed_us = 0.0;  ///< max over channel timelines
+  std::uint64_t queries_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t downlink_misses = 0;
+  std::uint64_t reservation_denied = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t decode_failures = 0;
+  double aggregate_goodput_kbps = 0.0;
+  double mean_tag_goodput_kbps = 0.0;
+  LatencyHistogram query_latency;
+  /// Mean fraction of time a tag spends backscattering.
+  double mean_airtime_duty = 0.0;
+  /// Mean fraction of time a tag is illuminated by a carrier it can harvest.
+  double mean_harvest_duty = 0.0;
+  /// Mean tag power draw at its duty cycle (uW), via IcPowerModel.
+  double mean_tag_power_uw = 0.0;
+  std::vector<ChannelStats> channels;
+  std::vector<TagStats> per_tag;  ///< empty when NetworkConfig::keep_per_tag off
+
+  /// FNV-1a hash over every field (doubles by bit pattern, vectors in index
+  /// order). Two runs are bit-identical iff their digests match.
+  std::uint64_t digest() const;
+};
+
+}  // namespace itb::sim

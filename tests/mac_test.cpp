@@ -2,6 +2,8 @@
 // reservation schemes (§2.3.3) and the query-reply protocol (§2.5).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "mac/dcf.h"
 #include "mac/query_reply.h"
 #include "mac/reservation.h"
@@ -119,6 +121,61 @@ TEST(Reservation, DataAsRtsBeatsPlainRtsOnGoodput) {
   EXPECT_LT(b.control_overhead_us, a.control_overhead_us + 1e-9);
 }
 
+TEST(Reservation, OutOfRangeProbabilitiesAreClamped) {
+  // Regression: probabilities outside [0,1] used to flow straight into the
+  // Monte-Carlo loop and could produce negative clean-transmission counts.
+  ReservationConfig cfg;
+  cfg.scheme = ReservationScheme::kDataAsRts;
+  cfg.channel_busy_probability = 1.7;    // clamps to 1 -> everything collides
+  cfg.cts_detection_probability = -0.3;  // clamps to 0
+  const ReservationResult r = evaluate_reservation(cfg, 1000, 11);
+  EXPECT_GE(r.clean_transmissions_per_event, 0.0);
+  EXPECT_LE(r.collision_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.clean_transmissions_per_event, 0.0);
+  EXPECT_DOUBLE_EQ(r.collision_fraction, 1.0);
+
+  const ReservationConfig v = cfg.validated();
+  EXPECT_DOUBLE_EQ(v.channel_busy_probability, 1.0);
+  EXPECT_DOUBLE_EQ(v.cts_detection_probability, 0.0);
+
+  cfg.channel_busy_probability = std::nan("");
+  EXPECT_DOUBLE_EQ(cfg.validated().channel_busy_probability, 0.0);
+}
+
+TEST(Reservation, ZeroEventsYieldsZeroesNotNan) {
+  ReservationConfig cfg;
+  cfg.scheme = ReservationScheme::kTagRts;
+  const ReservationResult r = evaluate_reservation(cfg, 0, 12);
+  EXPECT_DOUBLE_EQ(r.clean_transmissions_per_event, 0.0);
+  EXPECT_DOUBLE_EQ(r.collision_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.control_overhead_us, 0.0);
+}
+
+TEST(Reservation, ClosedFormMatchesMonteCarlo) {
+  // reservation_outcome() is the O(1) form the network simulator uses per
+  // poll; it must agree with the Monte-Carlo evaluator in expectation.
+  for (const auto scheme :
+       {ReservationScheme::kNone, ReservationScheme::kCtsToSelf,
+        ReservationScheme::kTagRts, ReservationScheme::kDataAsRts}) {
+    ReservationConfig cfg;
+    cfg.scheme = scheme;
+    cfg.channel_busy_probability = 0.25;
+    cfg.cts_detection_probability = 0.9;
+    const ReservationOutcome closed = reservation_outcome(cfg);
+    const ReservationResult mc = evaluate_reservation(cfg, 20000, 13);
+    EXPECT_NEAR(closed.data_slots_per_event * closed.p_clean,
+                mc.clean_transmissions_per_event, 0.05)
+        << "scheme " << static_cast<int>(scheme);
+    EXPECT_NEAR(closed.control_overhead_us, mc.control_overhead_us, 1e-9);
+    // Outcome probabilities form a distribution.
+    EXPECT_NEAR(closed.p_clean + closed.p_collision + closed.p_silent, 1.0,
+                1e-12);
+    EXPECT_GE(closed.p_clean, 0.0);
+    EXPECT_GE(closed.p_collision, 0.0);
+    EXPECT_GE(closed.p_silent, 0.0);
+  }
+}
+
 TEST(Reservation, BusierChannelHurtsUnprotectedMore) {
   for (const auto scheme : {ReservationScheme::kNone, ReservationScheme::kDataAsRts}) {
     ReservationConfig quiet;
@@ -175,6 +232,48 @@ TEST(QueryReply, LossyLinksReduceGoodput) {
   const PollingStats a = simulate_polling(tags, good, 200, 7);
   const PollingStats b = simulate_polling(tags, bad, 200, 7);
   EXPECT_GT(a.aggregate_goodput_kbps, b.aggregate_goodput_kbps);
+}
+
+TEST(QueryReply, ZeroTimeGoodputIsZeroNotNan) {
+  // Regression: aggregate_goodput_kbps must be 0, never NaN, whenever
+  // total_time_us is 0 — empty tag list, zero rounds, or both.
+  PollingConfig cfg;
+  const PollingStats none = simulate_polling({}, cfg, 100, 9);
+  EXPECT_EQ(none.queries_sent, 0u);
+  EXPECT_DOUBLE_EQ(none.total_time_us, 0.0);
+  EXPECT_DOUBLE_EQ(none.aggregate_goodput_kbps, 0.0);
+  EXPECT_FALSE(std::isnan(none.aggregate_goodput_kbps));
+
+  std::vector<PolledTag> tags = {{1, itb::phy::Bytes(30, 1)}};
+  const PollingStats zero_rounds = simulate_polling(tags, cfg, 0, 9);
+  EXPECT_DOUBLE_EQ(zero_rounds.aggregate_goodput_kbps, 0.0);
+  EXPECT_FALSE(std::isnan(zero_rounds.aggregate_goodput_kbps));
+
+  EXPECT_DOUBLE_EQ(safe_goodput_kbps(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, 1e3), 240.0);
+}
+
+TEST(QueryReply, EmptyPayloadsDeliverZeroGoodput) {
+  // Tags that answer polls with empty payloads: replies counted, goodput 0.
+  std::vector<PolledTag> tags = {{1, {}}, {2, {}}};
+  PollingConfig cfg;
+  cfg.downlink_error_rate = 0.0;
+  cfg.uplink_error_rate = 0.0;
+  const PollingStats s = simulate_polling(tags, cfg, 50, 9);
+  EXPECT_EQ(s.replies_received, 100u);
+  EXPECT_GT(s.total_time_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.aggregate_goodput_kbps, 0.0);
+  EXPECT_FALSE(std::isnan(s.aggregate_goodput_kbps));
+}
+
+TEST(QueryReply, PollSlotAccountsQueryAndReplyWindow) {
+  PollingConfig cfg;
+  cfg.downlink_kbps = 125.0;
+  cfg.advertising_interval_ms = 20.0;
+  const double expected = 20.0 / 125.0 * 1e3 + 20e3;  // 20 bits + window
+  EXPECT_NEAR(poll_slot_us(cfg), expected, 1e-9);
 }
 
 TEST(QueryReply, MoreTagsShareTheMedium) {
