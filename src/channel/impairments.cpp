@@ -1,0 +1,294 @@
+#include "channel/impairments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/rng.h"
+#include "dsp/units.h"
+
+namespace itb::channel {
+
+namespace {
+
+// Stage indices for substream derivation. Values are part of the
+// determinism contract (DESIGN.md): changing them changes every seeded run.
+enum Stage : std::uint64_t {
+  kStageMultipath = 1,
+  kStagePhase = 2,  // initial carrier phase + phase-noise walk
+};
+
+/// Multipath tap gains for one realization. Mean total power is 1 so the
+/// impairment does not change the average link budget, only its spread.
+CVec draw_taps(const MultipathConfig& mp, Real sample_rate_hz,
+               itb::dsp::Xoshiro256& rng) {
+  const std::size_t n = std::max<std::size_t>(mp.num_taps, 1);
+  // Exponential power-delay profile sampled at the tap spacing.
+  std::vector<Real> profile(n);
+  Real total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real delay_s = static_cast<Real>(i) / sample_rate_hz;
+    profile[i] = mp.delay_spread_s > 0.0
+                     ? std::exp(-delay_s / mp.delay_spread_s)
+                     : (i == 0 ? 1.0 : 0.0);
+    total += profile[i];
+  }
+  for (Real& p : profile) p /= total;
+
+  CVec taps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 && mp.k_factor > 0.0) {
+      // Rician first tap: deterministic LOS component plus scatter.
+      const Real k = mp.k_factor;
+      const Real los = std::sqrt(profile[0] * k / (k + 1.0));
+      const Complex scatter = rng.complex_gaussian(profile[0] / (k + 1.0));
+      taps[0] = Complex{los, 0.0} + scatter;
+    } else {
+      taps[i] = rng.complex_gaussian(profile[i]);
+    }
+  }
+  return taps;
+}
+
+}  // namespace
+
+std::uint64_t impairment_substream(std::uint64_t seed, std::uint64_t stream,
+                                   std::uint64_t stage) {
+  using itb::dsp::splitmix64;
+  return splitmix64(seed ^ splitmix64((stage << 48) ^ stream));
+}
+
+ImpairmentChain::ImpairmentChain(const ImpairmentConfig& cfg) : cfg_(cfg) {}
+
+CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
+                                    std::uint64_t stream) const {
+  CVec y = x;
+
+  // --- 1. multipath convolution -------------------------------------------
+  if (cfg_.multipath && !y.empty()) {
+    itb::dsp::Xoshiro256 rng(
+        impairment_substream(seed, stream, kStageMultipath));
+    const CVec taps = draw_taps(*cfg_.multipath, cfg_.sample_rate_hz, rng);
+    CVec conv(y.size(), Complex{0.0, 0.0});
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      Complex acc{0.0, 0.0};
+      const std::size_t kmax = std::min(taps.size(), i + 1);
+      for (std::size_t k = 0; k < kmax; ++k) acc += taps[k] * y[i - k];
+      conv[i] = acc;
+    }
+    y = std::move(conv);
+  }
+
+  // --- 2. carrier offset + phase noise ------------------------------------
+  const Real cfo = cfo_hz();
+  const bool has_pn = cfg_.phase_noise_linewidth_hz > 0.0;
+  if (cfo != 0.0 || has_pn) {
+    itb::dsp::Xoshiro256 rng(impairment_substream(seed, stream, kStagePhase));
+    const Real phi0 = rng.uniform(0.0, itb::dsp::kTwoPi);
+    const Real step = itb::dsp::kTwoPi * cfo / cfg_.sample_rate_hz;
+    // Wiener phase noise: variance of the per-sample increment for a
+    // Lorentzian linewidth B is 2*pi*B/fs.
+    const Real pn_sigma =
+        has_pn ? std::sqrt(itb::dsp::kTwoPi * cfg_.phase_noise_linewidth_hz /
+                           cfg_.sample_rate_hz)
+               : 0.0;
+    Real phase = phi0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] *= Complex{std::cos(phase), std::sin(phase)};
+      phase += step;
+      if (has_pn) phase += pn_sigma * rng.gaussian();
+    }
+  }
+
+  // --- 3. sampling-rate offset --------------------------------------------
+  // The receiver's clock runs (1 + sro) fast: it reads the waveform at
+  // fractional positions i*(1 + sro). Linear interpolation is adequate for
+  // the already band-limited signals here (same rationale as dsp/resample).
+  // A fast clock consumes more input than it produces, so the tail is
+  // zero-padded by the accumulated drift — otherwise a frame that ends at
+  // its last sample loses its final symbol to the resampler.
+  if (cfg_.sro_ppm != 0.0 && y.size() > 1) {
+    const Real ratio = 1.0 + cfg_.sro_ppm * 1e-6;
+    const auto drift = static_cast<std::size_t>(
+        std::ceil(static_cast<Real>(y.size()) * std::abs(cfg_.sro_ppm) * 1e-6));
+    y.resize(y.size() + drift + 1, Complex{0.0, 0.0});
+    CVec res;
+    res.reserve(y.size());
+    for (std::size_t i = 0;; ++i) {
+      const Real pos = static_cast<Real>(i) * ratio;
+      const auto i0 = static_cast<std::size_t>(pos);
+      if (i0 + 1 >= y.size()) break;
+      const Real frac = pos - static_cast<Real>(i0);
+      res.push_back(y[i0] * (1.0 - frac) + y[i0 + 1] * frac);
+    }
+    y = std::move(res);
+  }
+
+  // --- 4. IQ gain/phase imbalance -----------------------------------------
+  // y' = alpha*y + beta*conj(y): the standard widely-linear receiver model.
+  if (cfg_.iq_gain_db != 0.0 || cfg_.iq_phase_deg != 0.0) {
+    const Real g = itb::dsp::db_to_amplitude(cfg_.iq_gain_db);
+    const Real phi = cfg_.iq_phase_deg * itb::dsp::kPi / 180.0;
+    const Complex e{std::cos(phi), std::sin(phi)};
+    const Complex alpha = (1.0 + g * e) / 2.0;
+    const Complex beta = (1.0 - g * std::conj(e)) / 2.0;
+    for (Complex& v : y) v = alpha * v + beta * std::conj(v);
+  }
+
+  return y;
+}
+
+CVec ImpairmentChain::apply_frontend(const CVec& x) const {
+  if (cfg_.adc_bits == 0 || x.empty()) return x;
+  const Real rms = itb::dsp::rms(x);
+  if (rms <= 0.0) return x;
+  const Real full_scale = rms * itb::dsp::db_to_amplitude(cfg_.adc_headroom_db);
+  const Real levels = std::pow(2.0, static_cast<Real>(cfg_.adc_bits - 1));
+  const Real step = full_scale / levels;
+  CVec y(x.size());
+  const auto quantize = [&](Real v) {
+    const Real clipped = std::clamp(v, -full_scale, full_scale - step);
+    return (std::floor(clipped / step) + 0.5) * step;
+  };
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = Complex{quantize(x[i].real()), quantize(x[i].imag())};
+  }
+  return y;
+}
+
+CVec ImpairmentChain::apply(const CVec& x, std::uint64_t seed,
+                            std::uint64_t stream) const {
+  return apply_frontend(apply_channel(x, seed, stream));
+}
+
+Real impaired_snr_db(const ImpairmentConfig& cfg, Real snr_db,
+                     Real symbol_rate_hz) {
+  const Real t_sym = 1.0 / symbol_rate_hz;
+
+  // Error-vector power of each stage relative to unit signal power. These
+  // are the standard small-impairment approximations; each is zero for an
+  // ideal radio and grows monotonically with its knob.
+  Real evm2 = 0.0;
+
+  // Residual CFO after receiver synchronization. The upgraded receivers
+  // estimate CFO from the preamble; the estimator residual scales with the
+  // raw offset (finite preamble length), modeled as a 5% remnant. The
+  // uncorrected phase ramp over one symbol has uniform-phase error power
+  // theta^2/3.
+  const Real cfo_hz = std::abs(
+      FrequencyOffset::from_ppm(cfg.cfo_ppm, cfg.carrier_hz).hz());
+  const Real theta_cfo = itb::dsp::kTwoPi * 0.05 * cfo_hz * t_sym;
+  evm2 += theta_cfo * theta_cfo / 3.0;
+
+  // Sampling offset: timing drift accumulated over a frame (~100 symbols)
+  // as a fraction of the symbol, squared.
+  const Real drift = std::abs(cfg.sro_ppm) * 1e-6 * 100.0;
+  evm2 += drift * drift;
+
+  // Wiener phase noise variance accrued over one symbol.
+  evm2 += itb::dsp::kTwoPi * cfg.phase_noise_linewidth_hz * t_sym;
+
+  // IQ imbalance image power |beta/alpha|^2.
+  if (cfg.iq_gain_db != 0.0 || cfg.iq_phase_deg != 0.0) {
+    const Real g = itb::dsp::db_to_amplitude(cfg.iq_gain_db);
+    const Real phi = cfg.iq_phase_deg * itb::dsp::kPi / 180.0;
+    const Complex e{std::cos(phi), std::sin(phi)};
+    const Complex alpha = (1.0 + g * e) / 2.0;
+    const Complex beta = (1.0 - g * std::conj(e)) / 2.0;
+    evm2 += std::norm(beta) / std::norm(alpha);
+  }
+
+  // Quantization noise at the configured headroom: SQNR = 6.02b + 1.76 -
+  // headroom (the headroom trades resolution for clip margin).
+  if (cfg.adc_bits > 0) {
+    const Real sqnr_db =
+        6.02 * static_cast<Real>(cfg.adc_bits) + 1.76 - cfg.adc_headroom_db;
+    evm2 += itb::dsp::db_to_ratio(-sqnr_db);
+  }
+
+  // Multipath ISI: energy arriving later than the symbol's matched window,
+  // approximated by the delay-spread-to-symbol ratio (flat-fading level
+  // variation is already handled by channel/fading draws).
+  if (cfg.multipath) {
+    const Real r = cfg.multipath->delay_spread_s / t_sym;
+    evm2 += r * r;
+  }
+
+  // Impairment error power adds to thermal noise referred to the signal.
+  const Real snr_lin = itb::dsp::db_to_ratio(snr_db);
+  return itb::dsp::ratio_to_db(snr_lin / (1.0 + snr_lin * evm2));
+}
+
+Real impairment_snr_penalty_db(const ImpairmentConfig& cfg, Real snr_db,
+                               Real symbol_rate_hz) {
+  return snr_db - impaired_snr_db(cfg, snr_db, symbol_rate_hz);
+}
+
+ImpairmentConfig implant_tissue_preset(Real sample_rate_hz, Real carrier_hz) {
+  ImpairmentConfig cfg;
+  cfg.carrier_hz = carrier_hz;
+  cfg.sample_rate_hz = sample_rate_hz;
+  cfg.cfo_ppm = 40.0;   // cheapest tag crystal
+  cfg.sro_ppm = 40.0;   // same oscillator drives the sampling clock
+  cfg.phase_noise_linewidth_hz = 200.0;
+  cfg.adc_bits = 6;     // wearable-reader class converter
+  cfg.iq_gain_db = 0.3;
+  cfg.iq_phase_deg = 2.0;
+  MultipathConfig mp;
+  mp.num_taps = 2;
+  mp.delay_spread_s = 15e-9;  // short through-tissue excess delay
+  mp.k_factor = 6.0;          // implant-to-reader is near-LOS
+  cfg.multipath = mp;
+  return cfg;
+}
+
+ImpairmentConfig ward_mobility_preset(Real sample_rate_hz, Real carrier_hz) {
+  ImpairmentConfig cfg;
+  cfg.carrier_hz = carrier_hz;
+  cfg.sample_rate_hz = sample_rate_hz;
+  cfg.cfo_ppm = 20.0;
+  cfg.sro_ppm = 20.0;
+  cfg.phase_noise_linewidth_hz = 100.0;
+  cfg.adc_bits = 8;
+  cfg.iq_gain_db = 0.2;
+  cfg.iq_phase_deg = 1.0;
+  MultipathConfig mp;
+  mp.num_taps = 4;
+  mp.delay_spread_s = 60e-9;  // indoor ward, moving bodies
+  mp.k_factor = 1.5;          // weak LOS
+  cfg.multipath = mp;
+  return cfg;
+}
+
+ImpairmentConfig card_to_card_preset(Real sample_rate_hz, Real carrier_hz) {
+  ImpairmentConfig cfg;
+  cfg.carrier_hz = carrier_hz;
+  cfg.sample_rate_hz = sample_rate_hz;
+  cfg.cfo_ppm = 25.0;  // two consumer crystals, relative offset
+  cfg.sro_ppm = 25.0;
+  cfg.phase_noise_linewidth_hz = 150.0;
+  cfg.adc_bits = 8;
+  MultipathConfig mp;
+  mp.num_taps = 1;   // near-field: flat
+  mp.delay_spread_s = 5e-9;
+  mp.k_factor = 12.0;  // strong LOS
+  cfg.multipath = mp;
+  return cfg;
+}
+
+std::optional<ImpairmentConfig> make_impairment_preset(ImpairmentPreset preset,
+                                                       Real sample_rate_hz,
+                                                       Real carrier_hz) {
+  switch (preset) {
+    case ImpairmentPreset::kNone:
+      return std::nullopt;
+    case ImpairmentPreset::kImplantTissue:
+      return implant_tissue_preset(sample_rate_hz, carrier_hz);
+    case ImpairmentPreset::kWardMobility:
+      return ward_mobility_preset(sample_rate_hz, carrier_hz);
+    case ImpairmentPreset::kCardToCard:
+      return card_to_card_preset(sample_rate_hz, carrier_hz);
+  }
+  return std::nullopt;
+}
+
+}  // namespace itb::channel

@@ -23,6 +23,14 @@ Real InterscatterSystem::shift_hz() const {
   return wifi_hz - ble_hz;
 }
 
+std::optional<itb::channel::ImpairmentConfig>
+InterscatterSystem::resolved_impairments() const {
+  if (scenario_.impairments) return scenario_.impairments;
+  return itb::channel::make_impairment_preset(
+      scenario_.impairment_preset, 11e6,
+      itb::ble::wifi_channel_hz(scenario_.wifi_channel));
+}
+
 UplinkBudget InterscatterSystem::budget(std::size_t psdu_bytes) const {
   itb::channel::BackscatterLinkConfig link;
   link.ble_tx_power_dbm = scenario_.ble_tx_power_dbm;
@@ -85,10 +93,22 @@ UplinkDecodeResult InterscatterSystem::simulate_frame(
     const Real g = std::sqrt(target_watts / cur);
     for (auto& c : chips) c *= g;
   }
+
+  // Radio impairments: the channel-side stages (multipath, tag CFO, phase
+  // noise, SRO, IQ) distort the signal before the receiver's thermal noise
+  // is added; the ADC quantizes signal-plus-noise afterwards.
+  const auto impairment_cfg = resolved_impairments();
+  std::optional<itb::channel::ImpairmentChain> chain;
+  if (impairment_cfg) {
+    chain.emplace(*impairment_cfg);
+    chips = chain->apply_channel(chips, scenario_.seed);
+  }
+
   const Real noise_dbm = itb::channel::thermal_noise_dbm(
       11e6, scenario_.rx_noise_figure_db);  // post-despread equivalent BW
-  const itb::dsp::CVec noisy = itb::channel::add_noise_variance(
+  itb::dsp::CVec noisy = itb::channel::add_noise_variance(
       chips, itb::dsp::dbm_to_watts(noise_dbm), rng);
+  if (chain) noisy = chain->apply_frontend(noisy);
 
   // --- Decode ---------------------------------------------------------------
   itb::wifi::DsssRxConfig rxcfg;

@@ -22,6 +22,7 @@
 #include "backscatter/tag.h"
 #include "ble/single_tone.h"
 #include "channel/awgn.h"
+#include "channel/impairments.h"
 #include "channel/link.h"
 #include "wifi/dsss_rx.h"
 
@@ -45,6 +46,13 @@ struct UplinkScenario {
   // Environment.
   Real pathloss_exponent = 2.2;
   Real rx_noise_figure_db = 6.0;
+  // Radio impairments applied to the received waveform (tag oscillator CFO,
+  // multipath, receiver ADC...). The preset is resolved at the receiver's
+  // chip rate and the Wi-Fi channel carrier; an explicit `impairments`
+  // config overrides the preset.
+  itb::channel::ImpairmentPreset impairment_preset =
+      itb::channel::ImpairmentPreset::kNone;
+  std::optional<itb::channel::ImpairmentConfig> impairments;
   std::uint64_t seed = 1;
 };
 
@@ -81,6 +89,11 @@ class InterscatterSystem {
   /// Tag-side frequency shift (Hz) between the BLE tone and the Wi-Fi
   /// channel centre.
   Real shift_hz() const;
+
+  /// The impairment configuration simulate_frame() will apply: the explicit
+  /// scenario config if set, else the preset resolved at the receiver chip
+  /// rate (11 Msps) and the Wi-Fi channel carrier. nullopt when ideal.
+  std::optional<itb::channel::ImpairmentConfig> resolved_impairments() const;
 
   const UplinkScenario& scenario() const { return scenario_; }
 

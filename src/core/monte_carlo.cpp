@@ -9,23 +9,13 @@
 
 namespace itb::core {
 
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 std::uint64_t trial_seed(std::uint64_t sweep_seed, std::uint64_t point_index,
                          std::uint64_t trial_index) {
   // Counter-based substream: the (point, trial) pair forms a unique 64-bit
   // counter; two SplitMix64 rounds decorrelate it from the sweep seed. Each
   // Xoshiro256 constructed from the result re-expands through SplitMix64
   // again, so neighbouring counters share no state.
+  using itb::dsp::splitmix64;
   return splitmix64(sweep_seed ^ splitmix64((point_index << 32) | trial_index));
 }
 
@@ -42,6 +32,9 @@ std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
   // aggregation below is independent of scheduling.
   std::vector<std::uint8_t> failed(total, 0);
 
+  std::optional<itb::channel::ImpairmentChain> chain;
+  if (cfg.impairments) chain.emplace(*cfg.impairments);
+
   parallel_for(total, cfg.num_threads, [&](std::size_t idx) {
     const std::size_t point = idx / trials;
     const std::size_t trial = idx % trials;
@@ -51,9 +44,13 @@ std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
     for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(256));
     const auto frame = tx.modulate(psdu);
     // The chip stream occupies the full 22 MHz channel at 1 sample/chip,
-    // so per-sample SNR equals channel SNR.
-    const auto noisy =
-        itb::channel::add_noise_snr(frame.baseband, snr_grid_db[point], rng);
+    // so per-sample SNR equals channel SNR. Impairment randomness is keyed
+    // on the trial's global index: independent of scheduling, and distinct
+    // from the noise substream.
+    itb::dsp::CVec wave = frame.baseband;
+    if (chain) wave = chain->apply_channel(wave, cfg.seed, idx);
+    auto noisy = itb::channel::add_noise_snr(wave, snr_grid_db[point], rng);
+    if (chain) noisy = chain->apply_frontend(noisy);
     const auto result = rx.receive(noisy);
     const bool ok =
         result.has_value() && result->header_ok && result->psdu == psdu;

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "channel/impairments.h"
 #include "wifi/rates.h"
 
 namespace itb::core {
@@ -30,6 +32,11 @@ struct MonteCarloConfig {
   std::uint64_t seed = 2024;
   /// Worker threads for the trial fan-out; 0 = all hardware threads.
   std::size_t num_threads = 0;
+  /// RF impairments applied to every trial's waveform. Each (point, trial)
+  /// draws its impairment randomness (multipath taps, phase noise, initial
+  /// phase) from its own counter-based substream, so the sweep stays
+  /// bit-identical at any thread count.
+  std::optional<itb::channel::ImpairmentConfig> impairments;
 };
 
 /// Deterministic per-(point, trial) RNG substream seed: one SplitMix64-style

@@ -11,6 +11,19 @@
 
 namespace itb::dsp {
 
+/// One SplitMix64 step (Steele/Lea/Flood): advances the input by the
+/// golden-ratio increment and mixes. The single shared definition behind
+/// every counter-based substream seed in the library (core::trial_seed,
+/// channel::impairment_substream, Xoshiro256 seeding) — the cross-module
+/// determinism contract in DESIGN.md depends on all of them using exactly
+/// this function.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 /// Fast, high-quality, and — unlike std::mt19937 — guaranteed to produce the
 /// same stream on every platform for a given seed.
@@ -20,11 +33,8 @@ class Xoshiro256 {
     // SplitMix64 seeding as recommended by the xoshiro authors.
     std::uint64_t x = seed;
     for (auto& s : state_) {
+      s = splitmix64(x);
       x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      s = z ^ (z >> 31);
     }
   }
 

@@ -94,6 +94,15 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
         itb::channel::backscatter_rssi(budget, link.ap_distance_m);
     link.reply_rssi_dbm = s.rssi_dbm;
     link.snr_db = s.snr_db;
+    // Radio impairments degrade every reply before the PER mapping. The
+    // preset is resolved at the group's carrier; 1 us DSSS symbols set the
+    // timescale for CFO/phase-noise/delay-spread error accumulation.
+    if (cfg_.impairment_preset != itb::channel::ImpairmentPreset::kNone) {
+      const auto imp = itb::channel::make_impairment_preset(
+          cfg_.impairment_preset, 11e6,
+          itb::ble::wifi_channel_hz(link.wifi_channel));
+      link.snr_db = itb::channel::impaired_snr_db(*imp, link.snr_db, 1e6);
+    }
 
     // Downlink: the AP's OFDM-AM query must clear the tag's peak detector
     // after the tissue loss; below sensitivity the tag never hears it.
@@ -420,6 +429,7 @@ std::vector<SpotCheckResult> NetworkCoordinator::spot_check_waveform(
     s.tag_medium_loss_db = cfg_.tag_medium_loss_db;
     s.pathloss_exponent = cfg_.pathloss_exponent;
     s.rx_noise_figure_db = cfg_.rx_noise_figure_db;
+    s.impairment_preset = cfg_.impairment_preset;
     s.seed = itb::core::trial_seed(cfg_.seed, t, 0xC0FFEE);
 
     const itb::core::InterscatterSystem sys(s);

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "backscatter/ic_power.h"
+#include "channel/impairments.h"
 #include "channel/link.h"
 #include "mac/query_reply.h"
 #include "mac/reservation.h"
@@ -67,6 +68,13 @@ struct NetworkConfig {
   /// How much the tag's SSB suppresses the mirror sideband (paper measures
   /// ~20 dB; Fig. 6).
   Real ssb_sideband_suppression_db = 20.0;
+  /// RF impairment preset applied to every link draw: each reply's SNR is
+  /// degraded by the closed-form impairment penalty
+  /// (channel::impaired_snr_db) before the PER mapping, so network-scale
+  /// results inherit PHY-faithful degradation. spot_check_waveform() runs
+  /// its sampled links through the same preset at waveform level.
+  itb::channel::ImpairmentPreset impairment_preset =
+      itb::channel::ImpairmentPreset::kNone;
   // --- link budget inputs (shared with channel/link.h) -----------------
   Real ble_tx_power_dbm = 10.0;
   Real pathloss_exponent = 2.2;

@@ -1,6 +1,7 @@
 #include "wifi/dsss_rx.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -58,6 +59,7 @@ std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
   static const CVec pattern = barker_pattern();
   const CVec corr = itb::dsp::cross_correlate(
       std::span<const Complex>(chips).first(probe_len), pattern);
+  std::array<Real, kBarker.size()> offset_metric{};
   std::size_t best_off = 0;
   Real best_metric = -1.0;
   for (std::size_t off = 0; off < kBarker.size(); ++off) {
@@ -67,6 +69,7 @@ std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
       if (at >= corr.size()) break;
       m += std::abs(corr[at]);
     }
+    offset_metric[off] = m;
     if (m > best_metric) {
       best_metric = m;
       best_off = off;
@@ -79,6 +82,66 @@ std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
       per_symbol < cfg_.acquisition_threshold * input_rms *
                        static_cast<Real>(kBarker.size())) {
     return std::nullopt;
+  }
+
+  // --- 2b. Timing refinement ----------------------------------------------
+  // A dispersive channel smears correlation energy across adjacent chip
+  // alignments; when a neighbour's metric is within 10% of the winner, break
+  // the near-tie by despread-domain energy (the quantity the demodulator
+  // actually consumes).
+  if (cfg_.refine_timing) {
+    const auto despread_energy = [&](std::size_t off) -> Real {
+      const std::size_t n =
+          std::min(probe_symbols, (chips.size() - off) / kBarker.size());
+      if (n == 0) return -1.0;
+      const CVec syms = despread(std::span<const Complex>(chips).subspan(
+          off, n * kBarker.size()));
+      Real acc = 0.0;
+      for (const Complex& s : syms) acc += std::norm(s);
+      return acc / static_cast<Real>(n);
+    };
+    Real best_energy = despread_energy(best_off);
+    for (const std::size_t cand :
+         {(best_off + kBarker.size() - 1) % kBarker.size(),
+          (best_off + 1) % kBarker.size()}) {
+      if (offset_metric[cand] < 0.9 * best_metric) continue;
+      const Real e = despread_energy(cand);
+      if (e > best_energy) {
+        best_energy = e;
+        best_off = cand;
+      }
+    }
+  }
+
+  // --- 2c. CFO estimation from the preamble -------------------------------
+  // Every differential product of neighbouring preamble symbols is (+-1) *
+  // e^{j theta}, theta the per-symbol rotation: squaring removes the DBPSK
+  // sign so arg(sum d^2)/2 estimates theta, then the whole chip stream is
+  // derotated at theta/11 per chip and decoding proceeds as if on-channel.
+  Real cfo_est_hz = 0.0;
+  if (cfg_.enable_cfo_correction) {
+    const std::size_t est_symbols =
+        std::min<std::size_t>(32, (chips.size() - best_off) / kBarker.size());
+    if (est_symbols >= 4) {
+      const CVec syms = despread(std::span<const Complex>(chips).subspan(
+          best_off, est_symbols * kBarker.size()));
+      Complex acc{0.0, 0.0};
+      for (std::size_t k = 0; k + 1 < syms.size(); ++k) {
+        const Complex d = syms[k + 1] * std::conj(syms[k]);
+        acc += d * d;
+      }
+      if (std::abs(acc) > 1e-12) {
+        const Real theta = 0.5 * std::arg(acc);
+        const Real phi_chip = theta / static_cast<Real>(kBarker.size());
+        Real phase = 0.0;
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+          chips[i] *= Complex{std::cos(phase), std::sin(phase)};
+          phase -= phi_chip;
+        }
+        cfo_est_hz =
+            phi_chip * cfg_.chip_rate_hz / itb::dsp::kTwoPi;
+      }
+    }
   }
 
   // --- 3. Despread the preamble region and find the SFD --------------------
@@ -121,6 +184,7 @@ std::optional<DsssRxResult> DsssReceiver::receive(const CVec& samples) const {
 
   DsssRxResult out;
   out.sync_offset_samples = best_off * spc;
+  out.cfo_est_hz = cfo_est_hz;
   out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
       std::span<const Complex>(chips).subspan(best_off,
                                               probe_symbols * kBarker.size())));

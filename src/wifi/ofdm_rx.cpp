@@ -42,6 +42,46 @@ std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
   OfdmRxResult out;
   out.frame_start = best - 192;
 
+  // --- 1b. Preamble CFO estimation + correction ----------------------------
+  // Coarse: the STF repeats every 16 samples, so the lag-16 autocorrelation
+  // phase measures CFO unambiguously to +-fs/32. Fine: the LTF's two
+  // 64-sample periods give a 4x finer estimate, ambiguous at fs/64; the
+  // coarse stage resolves the integer ambiguity.
+  CVec corrected;
+  const CVec* rx_samples = &samples;
+  if (cfg_.enable_cfo_correction) {
+    const auto autocorr_freq = [&](std::size_t from, std::size_t count,
+                                   std::size_t lag) -> std::optional<Real> {
+      Complex acc{0.0, 0.0};
+      for (std::size_t i = from; i < from + count; ++i) {
+        acc += std::conj(samples[i]) * samples[i + lag];
+      }
+      if (std::abs(acc) < 1e-12) return std::nullopt;
+      // Cycles per sample.
+      return std::arg(acc) / (itb::dsp::kTwoPi * static_cast<Real>(lag));
+    };
+    // STF body, staying clear of the frame edge and the LTF boundary.
+    const auto coarse = autocorr_freq(out.frame_start + 16, 112, 16);
+    const auto fine = autocorr_freq(best, 64, 64);
+    if (fine) {
+      Real f = *fine;
+      if (coarse) {
+        const Real ambiguity = 1.0 / 64.0;
+        f += ambiguity * std::round((*coarse - f) / ambiguity);
+      }
+      out.cfo_est_hz = f * cfg_.sample_rate_hz;
+      corrected.resize(samples.size());
+      Real phase = 0.0;
+      const Real step = -itb::dsp::kTwoPi * f;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        corrected[i] = samples[i] * Complex{std::cos(phase), std::sin(phase)};
+        phase += step;
+      }
+      rx_samples = &corrected;
+    }
+  }
+  const CVec& rx = *rx_samples;
+
   // --- 2. Channel estimation from the two LTF periods ----------------------
   const auto seq = ltf_sequence();
   const auto bin = [](int k) {
@@ -52,8 +92,8 @@ std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
   {
     CVec est_acc(kFftSize, Complex{0.0, 0.0});
     for (int rep = 0; rep < 2; ++rep) {
-      CVec t(samples.begin() + static_cast<std::ptrdiff_t>(best + 64 * rep),
-             samples.begin() + static_cast<std::ptrdiff_t>(best + 64 * (rep + 1)));
+      CVec t(rx.begin() + static_cast<std::ptrdiff_t>(best + 64 * rep),
+             rx.begin() + static_cast<std::ptrdiff_t>(best + 64 * (rep + 1)));
       const Real scale = std::sqrt(52.0) / static_cast<Real>(kFftSize);
       for (Complex& v : t) v *= scale;
       const CVec f = itb::dsp::fft(t);
@@ -69,13 +109,13 @@ std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
   }
 
   out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
-      std::span<const Complex>(samples).subspan(best, 128)));
+      std::span<const Complex>(rx).subspan(best, 128)));
 
   // Equalization helper: extract + per-subcarrier divide.
   const auto equalized_symbol = [&](std::size_t start,
                                     std::size_t pilot_index) -> CVec {
-    CVec sym(samples.begin() + static_cast<std::ptrdiff_t>(start),
-             samples.begin() + static_cast<std::ptrdiff_t>(start + kSymbolSamples));
+    CVec sym(rx.begin() + static_cast<std::ptrdiff_t>(start),
+             rx.begin() + static_cast<std::ptrdiff_t>(start + kSymbolSamples));
     // Equalize in frequency domain: redo extract with channel division.
     CVec time(sym.begin() + kCpLen, sym.end());
     const Real scale = std::sqrt(52.0) / static_cast<Real>(kFftSize);
@@ -103,7 +143,7 @@ std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
 
   // --- 3. SIGNAL field ------------------------------------------------------
   const std::size_t signal_start = best + 128;
-  if (signal_start + kSymbolSamples > samples.size()) return std::nullopt;
+  if (signal_start + kSymbolSamples > rx.size()) return std::nullopt;
   {
     const CVec sig_data = equalized_symbol(signal_start, 0);
     const itb::phy::Bits inter = qam_demodulate(sig_data, Modulation::kBpsk);
@@ -144,7 +184,7 @@ std::optional<OfdmRxResult> OfdmReceiver::receive(const CVec& samples) const {
     punctured.reserve(num_symbols * p.n_cbps);
     std::size_t start = signal_start + kSymbolSamples;
     for (std::size_t s = 0; s < num_symbols; ++s) {
-      if (start + kSymbolSamples > samples.size()) return out;
+      if (start + kSymbolSamples > rx.size()) return out;
       const CVec data = equalized_symbol(start, s + 1);
       const itb::phy::Bits inter = qam_demodulate(data, p.modulation);
       const itb::phy::Bits sym = deinterleave(inter, p.n_cbps, p.n_bpsc);

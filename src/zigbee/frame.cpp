@@ -30,49 +30,53 @@ ZigbeeTxResult zigbee_transmit(const Bytes& mac_payload, const OqpskConfig& cfg)
   return out;
 }
 
+std::optional<ParsedPpdu> parse_ppdu(const Bytes& stream) {
+  for (std::size_t i = 0; i + 6 < stream.size(); ++i) {
+    if (stream[i] != 0x00 || stream[i + 1] != 0x00 || stream[i + 2] != 0x00 ||
+        stream[i + 3] != 0x00 || stream[i + 4] != kSfd) {
+      continue;
+    }
+    const std::size_t phr_at = i + 5;
+    const std::size_t len = stream[phr_at];
+    if (len < 2 || len > kMaxPsduBytes) continue;
+    if (phr_at + 1 + len > stream.size()) continue;
+
+    ParsedPpdu out;
+    out.sfd_byte_index = i + 4;
+    out.payload.assign(stream.begin() + static_cast<std::ptrdiff_t>(phr_at + 1),
+                       stream.begin() + static_cast<std::ptrdiff_t>(phr_at + 1 + len - 2));
+    const std::uint16_t expect = itb::phy::crc16_802154(out.payload);
+    const std::uint16_t got = static_cast<std::uint16_t>(
+        stream[phr_at + 1 + len - 2] | (stream[phr_at + 1 + len - 1] << 8));
+    out.fcs_ok = expect == got;
+    return out;
+  }
+  return std::nullopt;
+}
+
 std::optional<ZigbeeRxResult> zigbee_receive(const CVec& samples,
                                              const OqpskConfig& cfg) {
   OqpskDemodulator demod(cfg);
   const std::size_t spc = cfg.samples_per_chip;
 
-  // Joint search over carrier phase (coherent O-QPSK needs phase recovery;
-  // 16 trial rotations cover the constellation at 22.5 deg granularity) and
-  // sample timing within one chip period, keyed on finding the SFD.
-  for (std::size_t rot = 0; rot < 16; ++rot) {
-    const itb::dsp::Real theta =
-        itb::dsp::kTwoPi * static_cast<itb::dsp::Real>(rot) / 16.0;
-    const Complex derot{std::cos(theta), -std::sin(theta)};
-    CVec rotated(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      rotated[i] = samples[i] * derot;
-    }
+  // Timing search within one branch period, keyed on finding the SFD. The
+  // noncoherent soft detector absorbs any static carrier rotation (the old
+  // 16-rotation sweep) and carrier offsets up to ~a radian per correlation
+  // sub-block — the tag-oscillator regime that breaks hard chip decisions.
   for (std::size_t phase = 0; phase < 2 * spc; ++phase) {
-    const Bits chips = demod.demodulate_chips(rotated, phase);
-    const Bytes decoded = demod.chips_to_bytes(chips);
-    // Look for preamble + SFD in the decoded byte stream.
-    for (std::size_t i = 0; i + 6 < decoded.size(); ++i) {
-      if (decoded[i] == 0x00 && decoded[i + 1] == 0x00 &&
-          decoded[i + 2] == 0x00 && decoded[i + 3] == 0x00 &&
-          decoded[i + 4] == kSfd) {
-        const std::size_t phr_at = i + 5;
-        const std::size_t len = decoded[phr_at];
-        if (len < 2 || phr_at + 1 + len > decoded.size()) continue;
+    const CVec soft = demod.soft_chips(samples, phase);
+    const Bytes decoded = demod.soft_chips_to_bytes(soft);
+    const auto parsed = parse_ppdu(decoded);
+    if (!parsed) continue;
 
-        ZigbeeRxResult out;
-        out.sfd_symbol_index = (i + 4) * 2;
-        out.payload.assign(decoded.begin() + static_cast<std::ptrdiff_t>(phr_at + 1),
-                           decoded.begin() + static_cast<std::ptrdiff_t>(phr_at + 1 + len - 2));
-        const std::uint16_t expect = itb::phy::crc16_802154(out.payload);
-        const std::uint16_t got = static_cast<std::uint16_t>(
-            decoded[phr_at + 1 + len - 2] | (decoded[phr_at + 1 + len - 1] << 8));
-        out.fcs_ok = expect == got;
-        out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
-            std::span<const Complex>(samples).first(
-                std::min<std::size_t>(samples.size(), 1024))));
-        return out;
-      }
-    }
-  }
+    ZigbeeRxResult out;
+    out.sfd_symbol_index = parsed->sfd_byte_index * 2;
+    out.payload = parsed->payload;
+    out.fcs_ok = parsed->fcs_ok;
+    out.rssi_dbm = itb::dsp::watts_to_dbm(itb::dsp::mean_power(
+        std::span<const Complex>(samples).first(
+            std::min<std::size_t>(samples.size(), 1024))));
+    return out;
   }
   return std::nullopt;
 }

@@ -14,6 +14,17 @@ inline constexpr std::size_t kMaxPsduBytes = 127;
 /// Serializes PPDU bytes (preamble + SFD + PHR + PSDU-with-FCS).
 Bytes build_ppdu(const Bytes& mac_payload);
 
+/// Byte-level PPDU parser: scans a decoded byte stream for preamble + SFD,
+/// validates the PHR length field against the remaining buffer, and checks
+/// the FCS. Shared by the waveform receiver and the robustness/fuzz tests —
+/// must reject any malformed input cleanly (nullopt), never over-read.
+struct ParsedPpdu {
+  Bytes payload;  ///< PSDU minus FCS
+  bool fcs_ok = false;
+  std::size_t sfd_byte_index = 0;  ///< index of the SFD byte in `stream`
+};
+std::optional<ParsedPpdu> parse_ppdu(const Bytes& stream);
+
 /// Full transmitter: payload bytes -> complex baseband.
 struct ZigbeeTxResult {
   CVec baseband;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "dsp/fir.h"
 #include "phycommon/bits.h"
@@ -108,6 +109,83 @@ Bits OqpskDemodulator::demodulate_chips(const CVec& samples,
     chips.push_back(v > 0.0 ? 1 : 0);
   }
   return chips;
+}
+
+CVec OqpskDemodulator::soft_chips(const CVec& samples,
+                                  std::size_t offset_samples) const {
+  const std::size_t spc = cfg_.samples_per_chip;
+  CVec chips;
+  // Same peak positions as demodulate_chips, but keep the full complex
+  // sample: at a branch peak the other branch's half-sine crosses zero, so
+  // the sample is the chip value rotated by whatever the carrier did.
+  for (std::size_t k = 0;; ++k) {
+    const bool is_q = (k % 2) == 1;
+    const std::size_t centre =
+        offset_samples + (k / 2) * 2 * spc + (is_q ? spc : 0) + spc;
+    if (centre >= samples.size()) break;
+    chips.push_back(samples[centre]);
+  }
+  return chips;
+}
+
+Bytes OqpskDemodulator::soft_chips_to_bytes(const CVec& soft,
+                                            std::size_t block_chips) const {
+  if (block_chips == 0) block_chips = kChipsPerSymbol;
+  // Complex PN patterns: chip bit -> +-1 on the I axis (even chips) or the
+  // Q axis (odd chips).
+  static const std::array<std::array<Complex, kChipsPerSymbol>, 16> patterns =
+      [] {
+        std::array<std::array<Complex, kChipsPerSymbol>, 16> p{};
+        for (unsigned sym = 0; sym < 16; ++sym) {
+          const std::uint32_t packed = chip_table()[sym];
+          for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+            const Real v = ((packed >> c) & 1) ? 1.0 : -1.0;
+            p[sym][c] = (c % 2 == 0) ? Complex{v, 0.0} : Complex{0.0, v};
+          }
+        }
+        return p;
+      }();
+
+  const std::size_t nsym = soft.size() / kChipsPerSymbol;
+  Bytes out;
+  for (std::size_t s = 0; s < nsym; s += 2) {
+    std::uint8_t byte = 0;
+    for (unsigned nib = 0; nib < 2; ++nib) {
+      if (s + nib >= nsym) break;
+      const std::size_t at = (s + nib) * kChipsPerSymbol;
+      unsigned best_sym = 0;
+      Real best_metric = -std::numeric_limits<Real>::infinity();
+      for (unsigned cand = 0; cand < 16; ++cand) {
+        // Differential post-detection integration: correlate per sub-block,
+        // then combine adjacent blocks through Re(acc_b * conj(acc_{b-1})).
+        // A common rotation cancels in the product and a slow CFO only costs
+        // cos(delta) per block step, but a phase jump mid-symbol (corrupted
+        // chips, genuine symbol boundary mismatch) turns its contribution
+        // negative — unlike a magnitude sum, which is blind to block-aligned
+        // inversions.
+        Real metric = 0.0;
+        Complex prev{0.0, 0.0};
+        bool have_prev = false;
+        for (std::size_t b0 = 0; b0 < kChipsPerSymbol; b0 += block_chips) {
+          Complex acc{0.0, 0.0};
+          const std::size_t bend = std::min(b0 + block_chips, kChipsPerSymbol);
+          for (std::size_t c = b0; c < bend; ++c) {
+            acc += soft[at + c] * std::conj(patterns[cand][c]);
+          }
+          if (have_prev) metric += (acc * std::conj(prev)).real();
+          prev = acc;
+          have_prev = true;
+        }
+        if (metric > best_metric) {
+          best_metric = metric;
+          best_sym = cand;
+        }
+      }
+      byte |= static_cast<std::uint8_t>(nib == 0 ? best_sym : best_sym << 4);
+    }
+    out.push_back(byte);
+  }
+  return out;
 }
 
 Bytes OqpskDemodulator::chips_to_bytes(const Bits& chips) const {

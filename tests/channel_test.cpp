@@ -89,6 +89,30 @@ TEST(Awgn, CfoRotatesSpectrum) {
   EXPECT_NEAR(itb::dsp::peak_frequency_hz(psd), 50e3, 2 * psd.bin_hz);
 }
 
+TEST(Awgn, TypedFrequencyOffsetUnifiesPpmAndHz) {
+  // Regression for the ppm-vs-Hz confusion: a tag oscillator tolerance
+  // quoted in ppm must shift the spectrum by ppm * 1e-6 * carrier, not by
+  // the raw ppm figure misread as Hz.
+  const Real carrier = 2.44e9;
+  const auto off = FrequencyOffset::from_ppm(40.0, carrier);
+  EXPECT_NEAR(off.hz(), 40.0 * 1e-6 * carrier, 1e-6);
+  EXPECT_NEAR(off.ppm(carrier), 40.0, 1e-12);
+
+  const itb::dsp::CVec x = itb::dsp::tone(0.0, 1e6, 8192);
+  const itb::dsp::CVec y = apply_cfo(x, off, 1e6);
+  const auto psd = itb::dsp::welch_psd(y, 1e6);
+  // 97.6 kHz, nowhere near the 40 Hz a unit mix-up would produce.
+  EXPECT_NEAR(itb::dsp::peak_frequency_hz(psd), off.hz(), 2 * psd.bin_hz);
+
+  // The two construction routes agree bit-for-bit.
+  const auto via_hz = FrequencyOffset::from_hz(off.hz());
+  const itb::dsp::CVec z = apply_cfo(x, via_hz, 1e6);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y[i].real(), z[i].real());
+    EXPECT_EQ(y[i].imag(), z[i].imag());
+  }
+}
+
 TEST(Awgn, GainScalesPower) {
   const itb::dsp::CVec x = itb::dsp::tone(0.0, 1e6, 1024);
   const itb::dsp::CVec y = apply_gain_db(x, -20.0);

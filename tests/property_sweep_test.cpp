@@ -9,6 +9,8 @@
 #include "ble/packet.h"
 #include "ble/single_tone.h"
 #include "channel/awgn.h"
+#include "channel/impairments.h"
+#include "core/monte_carlo.h"
 #include "dsp/rng.h"
 #include "wifi/cck.h"
 #include "wifi/dsss_rx.h"
@@ -205,6 +207,89 @@ TEST(DataPacketExtension, SynthesizedOneMbpsFrameDecodes) {
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->header.rate, wifi::DsssRate::k1Mbps);
   EXPECT_EQ(r->psdu, psdu);
+}
+
+// --- impairment monotonicity properties -----------------------------------------------
+// PER at fixed SNR must be non-decreasing in each impairment magnitude.
+// Monte-Carlo estimates carry sampling noise, so each step is allowed a
+// small slack; the closed-form impaired_snr_db is asserted exactly.
+
+namespace {
+
+double impaired_per(const std::optional<channel::ImpairmentConfig>& imp,
+                    double snr_db, std::size_t trials, std::uint64_t seed) {
+  core::MonteCarloConfig cfg;
+  cfg.trials_per_point = trials;
+  cfg.seed = seed;
+  cfg.impairments = imp;
+  return core::per_vs_snr(cfg, {snr_db})[0].per_monte_carlo;
+}
+
+}  // namespace
+
+TEST(ImpairmentMonotone, PerNonDecreasingInAbsCfo) {
+  // Beyond the despreader's +-250 kHz aliasing limit PER must hit the wall;
+  // inside it the corrected offsets stay benign.
+  double prev = -1.0;
+  for (const double ppm : {0.0, 30.0, 90.0, 300.0}) {
+    channel::ImpairmentConfig imp;
+    imp.sample_rate_hz = 11e6;
+    imp.carrier_hz = 2.462e9;
+    imp.cfo_ppm = ppm;
+    const double per = impaired_per(imp, 10.0, 30, 515);
+    EXPECT_GE(per, prev - 0.15) << "cfo ppm " << ppm;
+    prev = std::max(prev, per);
+  }
+  EXPECT_GT(prev, 0.5);  // the 300 ppm point is past the sync range
+}
+
+TEST(ImpairmentMonotone, PerNonDecreasingInQuantizerCoarseness) {
+  double prev = -1.0;
+  for (const unsigned bits : {12u, 6u, 3u, 2u}) {
+    channel::ImpairmentConfig imp;
+    imp.sample_rate_hz = 11e6;
+    imp.adc_bits = bits;
+    const double per = impaired_per(imp, 4.0, 30, 516);
+    EXPECT_GE(per, prev - 0.15) << "adc bits " << bits;
+    prev = std::max(prev, per);
+  }
+}
+
+TEST(ImpairmentMonotone, PerNonDecreasingInDelaySpread) {
+  double prev = -1.0;
+  for (const double ds_ns : {0.0, 30.0, 120.0, 500.0}) {
+    channel::ImpairmentConfig imp;
+    imp.sample_rate_hz = 11e6;
+    if (ds_ns > 0.0) {
+      channel::MultipathConfig mp;
+      mp.num_taps = 4;
+      mp.delay_spread_s = ds_ns * 1e-9;
+      mp.k_factor = 4.0;
+      imp.multipath = mp;
+    }
+    const double per = impaired_per(imp, 12.0, 30, 517);
+    EXPECT_GE(per, prev - 0.15) << "delay spread ns " << ds_ns;
+    prev = std::max(prev, per);
+  }
+}
+
+TEST(ImpairmentMonotone, ClosedFormPenaltyMatchesDirections) {
+  // The budget-level model must agree with the waveform trend directions.
+  channel::ImpairmentConfig coarse;
+  coarse.adc_bits = 2;
+  channel::ImpairmentConfig fine;
+  fine.adc_bits = 12;
+  EXPECT_LT(channel::impaired_snr_db(coarse, 10.0, 1e6),
+            channel::impaired_snr_db(fine, 10.0, 1e6));
+
+  channel::ImpairmentConfig big_ds;
+  channel::MultipathConfig mp;
+  mp.delay_spread_s = 500e-9;
+  big_ds.multipath = mp;
+  channel::ImpairmentConfig small_ds = big_ds;
+  small_ds.multipath->delay_spread_s = 30e-9;
+  EXPECT_LT(channel::impaired_snr_db(big_ds, 10.0, 1e6),
+            channel::impaired_snr_db(small_ds, 10.0, 1e6));
 }
 
 // --- interscatter device count scaling (§2.5) -----------------------------------------

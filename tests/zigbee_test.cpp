@@ -147,14 +147,18 @@ TEST(Frame, ReceiveWithNoise) {
 TEST(Frame, CorruptedFcsDetected) {
   const Bytes payload = {9, 9, 9};
   ZigbeeTxResult tx = zigbee_transmit(payload);
-  // Corrupt enough chips of one payload symbol to flip the decoded nibble:
-  // invert a contiguous half of a symbol in the payload area.
-  OqpskModulator mod;
+  // Conjugate one payload symbol's samples (Q-branch inversion). That turns
+  // the symbol into its valid conjugate-pair codeword (s XOR 8) — a
+  // corruption no PHY detector can correct, coherent or not, because the
+  // result is a legal chip sequence for a *different* nibble. Only the FCS
+  // can catch it. (A plain chip inversion no longer suffices: the
+  // phase-robust despreader corrects it.)
   const std::size_t spc = OqpskConfig{}.samples_per_chip;
   const std::size_t payload_start_chip = 6 * 2 * kChipsPerSymbol;  // after hdr
   const std::size_t a = payload_start_chip * spc;
-  for (std::size_t i = a; i < a + 16 * spc && i < tx.baseband.size(); ++i) {
-    tx.baseband[i] = -tx.baseband[i];
+  for (std::size_t i = a;
+       i < a + kChipsPerSymbol * spc && i < tx.baseband.size(); ++i) {
+    tx.baseband[i] = std::conj(tx.baseband[i]);
   }
   const auto rx = zigbee_receive(tx.baseband);
   if (rx.has_value()) {
