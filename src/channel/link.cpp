@@ -9,6 +9,13 @@ namespace itb::channel {
 
 LinkSample backscatter_rssi(const BackscatterLinkConfig& cfg,
                             Real tag_rx_distance_m) {
+  // Degenerate geometry (non-positive or NaN distances) drives the
+  // pathloss model to NaN/-inf; report an explicit dead link instead of
+  // letting the garbage reach reservation and PER math downstream.
+  if (!(cfg.ble_tag_distance_m > 0.0) || !(tag_rx_distance_m > 0.0)) {
+    return {kLinkDownDb, kLinkDownDb, kLinkDownDb, true};
+  }
+
   const Real pl1 = cfg.pathloss.pathloss_db(cfg.ble_tag_distance_m);
   const Real incident = cfg.ble_tx_power_dbm + cfg.ble_antenna.effective_gain_dbi() +
                         cfg.tag_antenna.effective_gain_dbi() - pl1 -
@@ -20,7 +27,14 @@ LinkSample backscatter_rssi(const BackscatterLinkConfig& cfg,
                     pl2 + cfg.rx_antenna.effective_gain_dbi();
 
   const Real noise = thermal_noise_dbm(cfg.rx_bandwidth_hz, cfg.rx_noise_figure_db);
-  return {rssi, rssi - noise, incident};
+  LinkSample out{rssi, rssi - noise, incident, false};
+  // NaN losses / gains / noise figures (a detuned model, not just a far
+  // tag) must also surface as link_down rather than NaN.
+  if (!std::isfinite(out.rssi_dbm) || !std::isfinite(out.snr_db) ||
+      !std::isfinite(out.incident_at_tag_dbm)) {
+    return {kLinkDownDb, kLinkDownDb, kLinkDownDb, true};
+  }
+  return out;
 }
 
 Real ber_dbpsk(Real ebn0_db) {
@@ -39,6 +53,9 @@ Real ber_dqpsk(Real ebn0_db) {
 
 Real per_80211b(itb::wifi::DsssRate rate, Real snr_db, std::size_t psdu_bytes) {
   using itb::wifi::DsssRate;
+  // NaN SNR (garbage budget input) and the link-down sentinel are both
+  // certain loss, not NaN PER.
+  if (std::isnan(snr_db) || snr_db <= kLinkDownDb) return 1.0;
   // Implementation loss: real receivers lose ~3 dB to chip-timing
   // acquisition, differential detection and channel estimation relative to
   // ideal coherent detection. Calibrated against the waveform-level Monte
@@ -80,6 +97,22 @@ Real per_80211b(itb::wifi::DsssRate rate, Real snr_db, std::size_t psdu_bytes) {
   const Real p_ok = std::pow(1.0 - hdr_ber, hdr_bits) *
                     std::pow(1.0 - ber, payload_bits);
   return 1.0 - p_ok;
+}
+
+Real per_802154(Real snr_db, std::size_t psdu_bytes) {
+  if (std::isnan(snr_db) || snr_db <= kLinkDownDb) return 1.0;
+  // 250 kbps in the 22 MHz reference bandwidth: Eb/N0 = SNR + 19.4 dB.
+  // The (32, 4) quasi-orthogonal chip code behaves like ~2 dB of coding
+  // gain over differential QPSK under the repo's noncoherent DPDI
+  // receiver; the same 3 dB implementation loss as per_80211b applies.
+  constexpr Real kImplementationLossDb = 3.0;
+  constexpr Real kCodingGainDb = 2.0;
+  const Real ebn0_db = snr_db - kImplementationLossDb + kCodingGainDb +
+                       10.0 * std::log10(22e6 / 250e3);
+  const Real ber = std::min(ber_dqpsk(ebn0_db), Real{0.5});
+  // SHR + PHR (6 bytes) protect the sync; fold them into the frame length.
+  const double bits = (static_cast<double>(psdu_bytes) + 6.0) * 8.0;
+  return 1.0 - std::pow(1.0 - ber, bits);
 }
 
 Real direct_rssi_dbm(Real tx_power_dbm, Real tx_gain_dbi, Real rx_gain_dbi,

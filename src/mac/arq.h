@@ -1,0 +1,211 @@
+// Link-layer ARQ for interscatter uplinks (ROADMAP item 4's reliability
+// half): fragmentation with per-fragment CRC-16, selective-repeat
+// retransmission with capped exponential backoff and per-message retry
+// budgets, and a rate-fallback ladder for graceful degradation.
+//
+// Why it exists: a failed channel::link draw used to be a lost reply —
+// nothing retried, backed off, or degraded. Implanted fleets live with
+// routine link death (tissue absorption, harvest starvation, AP outages,
+// ISM jamming), so delivery has to be guaranteed by the link layer, not
+// hoped for per poll.
+//
+// The pieces are deliberately separable:
+//   - fragment/reassemble: pure byte-level framing (header + CRC-16 X.25,
+//     reusing phycommon/crc), usable by any transport;
+//   - ArqConfig + backoff_slots(): the retry policy, closed over small
+//     integers so the network simulator can drive it per TDMA slot;
+//   - arq_delivery_probability()/arq_expected_attempts(): closed-form
+//     geometric-retry model the simulator is validated against in tests;
+//   - RateFallbackController: consecutive-failure downshift through the
+//     DSSS ladder 11 -> 5.5 -> 2 -> 1 Mbps (optionally -> ZigBee O-QPSK
+//     where the tag supports both waveforms), probing back up on success.
+//
+// Determinism: none of these types hold RNG state. All randomness stays in
+// the caller (the network sim draws from per-(tag, round) substreams), so
+// ARQ state evolution is a pure fold over attempt outcomes and the sharded
+// digest contract of DESIGN.md survives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phycommon/bits.h"
+#include "wifi/rates.h"
+
+namespace itb::mac {
+
+using itb::phy::Bytes;
+
+// --- fragmentation -----------------------------------------------------------
+
+/// Wire layout of one fragment:
+///   [message_seq, frag_index, frag_count, payload..., crc16 lo, crc16 hi]
+/// where the CRC-16 (X.25, phy::crc16_x25) covers header + payload.
+struct FragmentHeader {
+  std::uint8_t message_seq = 0;  ///< message identity (wraps mod 256)
+  std::uint8_t frag_index = 0;
+  std::uint8_t frag_count = 1;
+};
+
+constexpr std::size_t kFragmentHeaderBytes = 3;
+constexpr std::size_t kFragmentCrcBytes = 2;
+constexpr std::size_t kFragmentOverheadBytes =
+    kFragmentHeaderBytes + kFragmentCrcBytes;
+/// frag_index/frag_count are one byte each.
+constexpr std::size_t kMaxFragmentsPerMessage = 255;
+
+/// Number of fragments a message of `message_bytes` splits into at
+/// `fragment_payload_bytes` per fragment (0 = no fragmentation: one
+/// fragment carries the whole message). Always >= 1 so an empty message
+/// still occupies one delivery slot.
+std::size_t fragment_count(std::size_t message_bytes,
+                           std::size_t fragment_payload_bytes);
+
+/// Serializes fragment `index` of `message`. Throws std::invalid_argument
+/// when index is out of range or the message needs > 255 fragments.
+Bytes make_fragment(const Bytes& message, std::size_t fragment_payload_bytes,
+                    std::uint8_t message_seq, std::size_t index);
+
+struct ParsedFragment {
+  FragmentHeader header;
+  Bytes payload;
+};
+
+/// CRC-checked parse of one fragment; nullopt on truncation, CRC failure,
+/// or an inconsistent header (index >= count, count == 0).
+std::optional<ParsedFragment> parse_fragment(const Bytes& wire);
+
+/// Selective-repeat reassembly: accepts fragments in any order, tolerates
+/// duplicates, and reports exactly which indices are still missing so the
+/// sender retransmits only those.
+class Reassembler {
+ public:
+  /// Feeds one parsed fragment. Returns true when the fragment was new
+  /// (first copy of its index for the current message); false for
+  /// duplicates or a fragment of a different message_seq than the one in
+  /// progress (stale retransmission).
+  bool accept(const ParsedFragment& f);
+
+  bool complete() const;
+  /// Reassembled message bytes; empty until complete().
+  Bytes message() const;
+  /// Fragment indices not yet received (ascending); empty until the first
+  /// accept() establishes the fragment count.
+  std::vector<std::uint8_t> missing() const;
+  /// Drops any partial state so the next accept() starts a new message.
+  void reset();
+
+ private:
+  bool started_ = false;
+  std::uint8_t seq_ = 0;
+  std::vector<std::optional<Bytes>> parts_;
+};
+
+// --- retry policy ------------------------------------------------------------
+
+struct ArqConfig {
+  /// Fragment payload bytes; 0 = whole message in one fragment.
+  std::size_t fragment_bytes = 0;
+  /// Transmission attempts allowed per fragment, including the first.
+  std::size_t max_attempts = 8;
+  /// Total retransmissions allowed per message across all its fragments
+  /// (the per-tag retry budget: energy, not just time, is finite).
+  std::size_t retry_budget = 16;
+  /// After the k-th consecutive failure the sender idles
+  /// min(backoff_cap_slots, backoff_base_slots * 2^(k-1)) of its own TDMA
+  /// slots before retrying — capped exponential backoff.
+  std::size_t backoff_base_slots = 0;  ///< 0 = retry at the next slot
+  std::size_t backoff_cap_slots = 8;
+
+  /// Copy with degenerate values clamped (mirrors
+  /// ReservationConfig::validated()): max_attempts >= 1, cap >= base,
+  /// fragment count bounded by the one-byte wire header.
+  ArqConfig validated() const;
+};
+
+/// Slots to skip before the retry that follows `consecutive_failures`
+/// (>= 1) failures: min(cap, base * 2^(failures-1)); 0 when base is 0.
+std::size_t backoff_slots(const ArqConfig& cfg,
+                          std::size_t consecutive_failures);
+
+/// Closed-form geometric-retry model: probability a fragment is delivered
+/// within `max_attempts` attempts when each attempt independently succeeds
+/// with probability `p_success`: 1 - (1-p)^n. The simulator's measured
+/// delivery ratio must match this at fixed per-attempt PER (tested).
+double arq_delivery_probability(double p_success, std::size_t max_attempts);
+
+/// Expected attempts consumed per fragment (delivered or abandoned):
+/// sum_{k=1..n} (1-p)^(k-1) = (1 - (1-p)^n) / p, with the p -> 0 limit n.
+double arq_expected_attempts(double p_success, std::size_t max_attempts);
+
+// --- rate / waveform fallback ------------------------------------------------
+
+/// The graceful-degradation ladder, most to least fragile. The three CCK /
+/// DQPSK DSSS downshifts trade throughput for SNR margin (~5.4 dB between
+/// 11 and 2 Mbps, see channel::per_80211b); the final rung swaps waveform
+/// entirely to 802.15.4 O-QPSK at 250 kbps, whose 32-chip spreading gains
+/// another ~9 dB for tags that support both synthesizers.
+enum class LinkWaveform : std::uint8_t {
+  kWifi11Mbps = 0,
+  kWifi5_5Mbps = 1,
+  kWifi2Mbps = 2,
+  kWifi1Mbps = 3,
+  kZigbee = 4,
+};
+constexpr std::size_t kNumLinkWaveforms = 5;
+
+const char* waveform_name(LinkWaveform w);
+constexpr bool is_wifi(LinkWaveform w) { return w != LinkWaveform::kZigbee; }
+/// DSSS rate of a Wi-Fi rung; kZigbee maps to k1Mbps for callers that need
+/// a DSSS rate proxy (e.g. the IC power model's baseband clock scaling).
+itb::wifi::DsssRate waveform_rate(LinkWaveform w);
+LinkWaveform waveform_for_rate(itb::wifi::DsssRate rate);
+/// Reply airtime of `psdu_bytes` at rung `w`: 802.11b long-preamble frame
+/// for the Wi-Fi rungs, 802.15.4 SHR+PHR+PSDU at 250 kbps for kZigbee.
+double waveform_airtime_us(LinkWaveform w, std::size_t psdu_bytes);
+
+struct FallbackConfig {
+  bool enable_rate_fallback = false;
+  /// Allow the final Wi-Fi -> ZigBee waveform swap (tag has both synths).
+  bool enable_zigbee_fallback = false;
+  /// Consecutive failed attempts before stepping one rung down.
+  std::size_t down_after_failures = 2;
+  /// Consecutive delivered attempts before probing one rung back up.
+  std::size_t up_after_successes = 8;
+
+  /// Copy with zero thresholds clamped to 1 (a zero threshold would
+  /// downshift on success paths / upshift forever).
+  FallbackConfig validated() const;
+};
+
+/// Per-tag fallback state machine. Holds no RNG; feed it attempt outcomes.
+/// Never climbs above the waveform it was constructed at.
+class RateFallbackController {
+ public:
+  RateFallbackController() = default;
+  RateFallbackController(const FallbackConfig& cfg, LinkWaveform initial);
+
+  LinkWaveform current() const { return current_; }
+  LinkWaveform initial() const { return initial_; }
+  bool degraded() const { return current_ != initial_; }
+
+  void on_success();
+  void on_failure();
+
+  std::uint64_t downshifts() const { return downshifts_; }
+  std::uint64_t upshifts() const { return upshifts_; }
+
+ private:
+  bool can_step_down() const;
+
+  FallbackConfig cfg_{};
+  LinkWaveform initial_ = LinkWaveform::kWifi2Mbps;
+  LinkWaveform current_ = LinkWaveform::kWifi2Mbps;
+  std::size_t fail_streak_ = 0;
+  std::size_t success_streak_ = 0;
+  std::uint64_t downshifts_ = 0;
+  std::uint64_t upshifts_ = 0;
+};
+
+}  // namespace itb::mac

@@ -1,5 +1,8 @@
 #include "mac/query_reply.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace itb::mac {
 
 namespace {
@@ -10,7 +13,23 @@ std::uint8_t checksum4(std::uint8_t addr, std::uint8_t op) {
   return static_cast<std::uint8_t>((x >> 4) ^ (x & 0x0F));
 }
 
+Real clamp_probability(Real p) {
+  if (std::isnan(p)) return 0.0;
+  return std::clamp(p, Real{0.0}, Real{1.0});
+}
+
 }  // namespace
+
+PollingConfig PollingConfig::validated() const {
+  PollingConfig out = *this;
+  if (!(out.downlink_kbps > 0.0)) out.downlink_kbps = PollingConfig{}.downlink_kbps;
+  if (!(out.advertising_interval_ms > 0.0)) {
+    out.advertising_interval_ms = PollingConfig{}.advertising_interval_ms;
+  }
+  out.downlink_error_rate = clamp_probability(out.downlink_error_rate);
+  out.uplink_error_rate = clamp_probability(out.uplink_error_rate);
+  return out;
+}
 
 double poll_slot_us(const PollingConfig& cfg) {
   const double query_us =

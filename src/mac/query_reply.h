@@ -49,6 +49,13 @@ struct PollingConfig {
   Real downlink_error_rate = 0.01;
   /// Per-reply probability the backscatter packet is lost.
   Real uplink_error_rate = 0.05;
+
+  /// Copy with degenerate values clamped, mirroring
+  /// ReservationConfig::validated(): a zero/negative/NaN downlink rate or
+  /// advertising interval would make poll_slot_us() zero, negative, or
+  /// infinite (and slot math downstream divides by it); error rates are
+  /// probabilities and clamp into [0, 1] (NaN -> 0).
+  PollingConfig validated() const;
 };
 
 /// Air time of one TDMA poll slot (query transmission + the advertising

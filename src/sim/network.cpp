@@ -33,11 +33,39 @@ std::uint64_t phase_counter(std::uint64_t round, std::uint64_t phase) {
   return round * 2 + phase;
 }
 
+/// Event payload packing: (failover << 63) | (slot << 32) | round. The
+/// failover decision is made at query time and must survive to the reply
+/// handler, so it rides in the event data.
+constexpr std::uint64_t kFailoverBit = 1ULL << 63;
+
 struct Shard {
   std::size_t group = 0;
   std::size_t begin = 0;  ///< slot range within the group's tag list
   std::size_t end = 0;
 };
+
+/// Per-tag ARQ + fallback progress (lives in the owning shard only; a pure
+/// fold over that tag's own attempt outcomes, so thread-count invariant).
+struct ArqProgress {
+  bool in_flight = false;         ///< a message is being delivered
+  std::size_t frag = 0;           ///< next fragment index to deliver
+  std::size_t frag_attempts = 0;  ///< attempts spent on the current fragment
+  std::size_t msg_attempts = 0;   ///< attempts spent on the whole message
+  std::size_t retx_used = 0;      ///< retransmissions charged to the budget
+  std::size_t fail_streak = 0;    ///< consecutive failed attempts (backoff)
+  std::size_t backoff_remaining = 0;  ///< slots left to idle before retrying
+  mac::RateFallbackController fallback;
+  bool disrupted = false;         ///< inside a not-yet-recovered outage/fade
+  double disrupted_since_us = 0.0;
+};
+
+Real waveform_per_at(mac::LinkWaveform w, Real snr_db,
+                     std::size_t wire_bytes) {
+  if (mac::is_wifi(w)) {
+    return itb::channel::per_80211b(mac::waveform_rate(w), snr_db, wire_bytes);
+  }
+  return itb::channel::per_802154(snr_db, wire_bytes);
+}
 
 }  // namespace
 
@@ -46,12 +74,32 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("NetworkConfig: no Wi-Fi channels");
   }
   if (cfg_.shard_tags == 0) cfg_.shard_tags = 256;
+  cfg_.polling = cfg_.polling.validated();
+  cfg_.arq = cfg_.arq.validated();
+  cfg_.fallback = cfg_.fallback.validated();
   placement_ = generate_topology(cfg_.topology);
   const std::size_t n = placement_.tags.size();
   if (n > 0 && (placement_.helpers.empty() || placement_.aps.empty())) {
     throw std::invalid_argument(
         "NetworkConfig: tags present but no helpers or no APs");
   }
+
+  // Effective wire size of one attempt: with ARQ every fragment carries the
+  // mac/arq framing (header + CRC) on top of its payload share.
+  fragments_ = cfg_.enable_arq
+                   ? mac::fragment_count(cfg_.payload_bytes,
+                                         cfg_.arq.fragment_bytes)
+                   : 1;
+  const std::size_t frag_payload =
+      cfg_.enable_arq && cfg_.arq.fragment_bytes > 0
+          ? std::min(cfg_.arq.fragment_bytes, std::max<std::size_t>(
+                                                  cfg_.payload_bytes, 1))
+          : cfg_.payload_bytes;
+  wire_bytes_ = cfg_.enable_arq ? frag_payload + mac::kFragmentOverheadBytes
+                                : cfg_.payload_bytes;
+
+  timeline_ = FaultTimeline(cfg_.faults, placement_.aps.size(),
+                            cfg_.wifi_channels, n);
 
   const std::size_t num_groups = cfg_.wifi_channels.size();
   group_tags_.assign(num_groups, {});
@@ -63,6 +111,22 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
   // --- per-tag link budgets (pure geometry + closed forms) -----------------
   itb::channel::LogDistanceModel pl;
   pl.exponent = cfg_.pathloss_exponent;
+  const auto impair = [&](Real snr_db, unsigned wifi_channel) {
+    if (cfg_.impairment_preset == itb::channel::ImpairmentPreset::kNone) {
+      return snr_db;
+    }
+    const auto imp = itb::channel::make_impairment_preset(
+        cfg_.impairment_preset, 11e6, itb::ble::wifi_channel_hz(wifi_channel));
+    return itb::channel::impaired_snr_db(*imp, snr_db, 1e6);
+  };
+  const auto downlink_miss = [&](Real ap_distance_m) {
+    const Real rssi = itb::channel::direct_rssi_dbm(cfg_.ap_tx_power_dbm, 2.0,
+                                                    2.0, pl, ap_distance_m) -
+                      cfg_.tag_medium_loss_db;
+    return rssi < cfg_.detector_sensitivity_dbm
+               ? Real{1.0}
+               : cfg_.polling.downlink_error_rate;
+  };
   for (std::size_t t = 0; t < n; ++t) {
     TagLink& link = links_[t];
     // FDMA: balance groups round-robin by tag id. Deterministic and keeps
@@ -93,16 +157,12 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
     const itb::channel::LinkSample s =
         itb::channel::backscatter_rssi(budget, link.ap_distance_m);
     link.reply_rssi_dbm = s.rssi_dbm;
-    link.snr_db = s.snr_db;
+    link.link_down = s.link_down;
     // Radio impairments degrade every reply before the PER mapping. The
     // preset is resolved at the group's carrier; 1 us DSSS symbols set the
     // timescale for CFO/phase-noise/delay-spread error accumulation.
-    if (cfg_.impairment_preset != itb::channel::ImpairmentPreset::kNone) {
-      const auto imp = itb::channel::make_impairment_preset(
-          cfg_.impairment_preset, 11e6,
-          itb::ble::wifi_channel_hz(link.wifi_channel));
-      link.snr_db = itb::channel::impaired_snr_db(*imp, link.snr_db, 1e6);
-    }
+    link.snr_db = link.link_down ? s.snr_db
+                                 : impair(s.snr_db, link.wifi_channel);
 
     // Downlink: the AP's OFDM-AM query must clear the tag's peak detector
     // after the tissue loss; below sensitivity the tag never hears it.
@@ -110,10 +170,35 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
         itb::channel::direct_rssi_dbm(cfg_.ap_tx_power_dbm, 2.0, 2.0, pl,
                                       link.ap_distance_m) -
         cfg_.tag_medium_loss_db;
-    link.downlink_miss_prob =
-        link.downlink_rssi_dbm < cfg_.detector_sensitivity_dbm
-            ? 1.0
-            : cfg_.polling.downlink_error_rate;
+    link.downlink_miss_prob = downlink_miss(link.ap_distance_m);
+
+    // Failover target: next-nearest AP, with its own precomputed budget.
+    // Reassigning to a different Wi-Fi channel would rewrite the TDMA
+    // schedule mid-run, so failover keeps the tag's FDMA group and only
+    // swaps which AP transmits/receives.
+    if (cfg_.ap_failover && placement_.aps.size() > 1) {
+      Real best = 0.0;
+      for (std::size_t a = 0; a < placement_.aps.size(); ++a) {
+        if (a == link.ap) continue;
+        const Real d = std::max(
+            distance_m(placement_.aps[a], placement_.tags[t]), Real{0.05});
+        if (!link.has_failover || d < best) {
+          link.has_failover = true;
+          link.failover_ap = static_cast<std::uint32_t>(a);
+          best = d;
+        }
+      }
+      if (link.has_failover) {
+        const itb::channel::LinkSample fs =
+            itb::channel::backscatter_rssi(budget, best);
+        if (fs.link_down) {
+          link.has_failover = false;
+        } else {
+          link.failover_snr_db = impair(fs.snr_db, link.wifi_channel);
+          link.failover_downlink_miss_prob = downlink_miss(best);
+        }
+      }
+    }
   }
 
   // --- per-group airtime occupancy and mean reply power --------------------
@@ -188,9 +273,19 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
   // --- leakage-degraded reply PER per tag ----------------------------------
   for (std::size_t g = 0; g < num_groups; ++g) {
     for (const std::uint32_t t : group_tags_[g]) {
-      links_[t].reply_per = itb::channel::per_80211b(
-          cfg_.rate, links_[t].snr_db - channels_[g].leakage_noise_rise_db,
-          cfg_.payload_bytes);
+      TagLink& link = links_[t];
+      const Real snr = link.snr_db - channels_[g].leakage_noise_rise_db;
+      link.reply_per =
+          itb::channel::per_80211b(cfg_.rate, snr, cfg_.payload_bytes);
+      const Real fo_snr =
+          link.failover_snr_db - channels_[g].leakage_noise_rise_db;
+      for (std::size_t w = 0; w < mac::kNumLinkWaveforms; ++w) {
+        const auto wf = static_cast<mac::LinkWaveform>(w);
+        link.waveform_per[w] = waveform_per_at(wf, snr, wire_bytes_);
+        link.failover_waveform_per[w] =
+            link.has_failover ? waveform_per_at(wf, fo_snr, wire_bytes_)
+                              : Real{1.0};
+      }
     }
   }
 }
@@ -201,9 +296,11 @@ NetworkStats NetworkCoordinator::run() const {
   const double slot_us = mac::poll_slot_us(cfg_.polling);
   const double query_us = static_cast<double>(mac::QueryFrame::kBits) /
                           cfg_.polling.downlink_kbps * 1e3;
-  const double frame_us =
-      itb::wifi::frame_airtime_us(cfg_.rate, cfg_.payload_bytes);
   const double payload_bits = static_cast<double>(cfg_.payload_bytes) * 8.0;
+  /// Application bits one delivered fragment is worth (the framing bytes
+  /// are overhead, not goodput).
+  const double frag_bits = payload_bits / static_cast<double>(fragments_);
+  const mac::LinkWaveform initial_waveform = mac::waveform_for_rate(cfg_.rate);
 
   // Per-group reservation outcome (closed form, O(1) per reply).
   std::vector<mac::ReservationOutcome> outcome(num_groups);
@@ -218,6 +315,25 @@ NetworkStats NetworkCoordinator::run() const {
         static_cast<double>(group_tags_[g].size()) * slot_us;
   }
 
+  // Per-rung attempt airtime and IC transmit energy (per group: the SSB
+  // shift sets the synthesizer power). uW * us = pJ, stored as nJ.
+  const itb::backscatter::IcPowerModel power(cfg_.ic_power);
+  const Real ble_hz = itb::ble::ChannelMap::frequency_hz(cfg_.ble_channel);
+  std::array<double, mac::kNumLinkWaveforms> attempt_airtime_us{};
+  std::vector<std::array<double, mac::kNumLinkWaveforms>> attempt_energy_nj(
+      num_groups);
+  for (std::size_t w = 0; w < mac::kNumLinkWaveforms; ++w) {
+    const auto wf = static_cast<mac::LinkWaveform>(w);
+    attempt_airtime_us[w] = mac::waveform_airtime_us(wf, wire_bytes_);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const Real shift_hz = std::abs(
+          itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]) - ble_hz);
+      attempt_energy_nj[g][w] =
+          power.active_power(mac::waveform_rate(wf), shift_hz).total_uw() *
+          attempt_airtime_us[w] * 1e-3;
+    }
+  }
+
   // Fixed shard partition: contiguous slot ranges within each group,
   // independent of num_threads (part of the result's identity).
   std::vector<Shard> shards;
@@ -230,6 +346,9 @@ NetworkStats NetworkCoordinator::run() const {
 
   std::vector<TagStats> tag_stats(n);
   std::vector<LatencyHistogram> shard_latency(shards.size());
+  std::vector<LatencyHistogram> shard_recovery(shards.size());
+  std::vector<RetryHistogram> shard_retries(shards.size());
+  std::vector<std::vector<PollRecord>> shard_trace(shards.size());
 
   itb::core::parallel_for(
       shards.size(), cfg_.num_threads, [&](std::size_t si) {
@@ -241,6 +360,9 @@ NetworkStats NetworkCoordinator::run() const {
                 ? oc.control_overhead_us / oc.data_slots_per_event
                 : 0.0;
         LatencyHistogram& latency = shard_latency[si];
+        LatencyHistogram& recovery = shard_recovery[si];
+        RetryHistogram& retries = shard_retries[si];
+        std::vector<PollRecord>& trace = shard_trace[si];
 
         EventQueue queue;
         // Schedule every poll this shard owns: tag at TDMA slot s, round r
@@ -261,61 +383,259 @@ NetworkStats NetworkCoordinator::run() const {
         // (latency is measured from here to successful delivery; a failed
         // poll retries the same payload next round).
         std::vector<double> pending_since(sh.end - sh.begin, 0.0);
+        std::vector<ArqProgress> progress(sh.end - sh.begin);
+        for (ArqProgress& p : progress) {
+          p.fallback =
+              mac::RateFallbackController(cfg_.fallback, initial_waveform);
+        }
+
+        const auto record_trace = [&](double t_us, std::uint32_t tag,
+                                      std::uint64_t round, PollOutcome out,
+                                      mac::LinkWaveform wf, std::uint32_t ap,
+                                      bool retx) {
+          if (!cfg_.keep_trace) return;
+          trace.push_back({t_us, tag, static_cast<std::uint32_t>(round), out,
+                           static_cast<std::uint8_t>(wf), ap, retx});
+        };
+        // A skipped or failed poll opens a disruption window; the next
+        // delivered attempt closes it and records the recovery time.
+        const auto mark_disrupted = [](ArqProgress& st, double t_us) {
+          if (!st.disrupted) {
+            st.disrupted = true;
+            st.disrupted_since_us = t_us;
+          }
+        };
+        // Advances ARQ + fallback state for one resolved attempt. Pure
+        // per-tag fold: no RNG, no cross-tag state.
+        const auto resolve_attempt = [&](TagStats& ts, ArqProgress& st,
+                                         PollOutcome out, double t_us) {
+          const bool delivered = out == PollOutcome::kDelivered;
+          // Only SNR-driven outcomes move the fallback ladder: a busy
+          // channel (reservation denied) or an unheard query says nothing
+          // about the reply waveform, and dropping the rate would only
+          // lengthen the airtime it has to reserve.
+          if (delivered) {
+            st.fallback.on_success();
+          } else if (out == PollOutcome::kCollision ||
+                     out == PollOutcome::kDecodeFailure) {
+            st.fallback.on_failure();
+          }
+          if (delivered) {
+            st.fail_streak = 0;
+            if (st.disrupted) {
+              recovery.record(t_us - st.disrupted_since_us);
+              st.disrupted = false;
+            }
+            if (!cfg_.enable_arq) {
+              ++ts.messages_delivered;
+              retries.record(1);
+              st.in_flight = false;
+              return;
+            }
+            ++st.frag;
+            st.frag_attempts = 0;
+            if (st.frag >= fragments_) {
+              ++ts.messages_delivered;
+              retries.record(st.msg_attempts);
+              st.in_flight = false;
+            }
+            return;
+          }
+          mark_disrupted(st, t_us);
+          if (!cfg_.enable_arq) {
+            ++ts.messages_dropped;
+            st.in_flight = false;
+            return;
+          }
+          ++st.fail_streak;
+          if (st.frag_attempts >= cfg_.arq.max_attempts ||
+              st.retx_used >= cfg_.arq.retry_budget) {
+            ++ts.messages_dropped;
+            st.in_flight = false;
+            return;
+          }
+          st.backoff_remaining = mac::backoff_slots(cfg_.arq, st.fail_streak);
+        };
 
         while (!queue.empty()) {
           const Event ev = queue.pop();
           const std::uint32_t tag = ev.entity;
           TagStats& ts = tag_stats[tag];
           const std::uint64_t round = ev.data & 0xFFFFFFFFULL;
-          const auto slot = static_cast<std::size_t>(ev.data >> 32);
+          const auto slot =
+              static_cast<std::size_t>((ev.data >> 32) & 0x7FFFFFFFULL);
+          const std::size_t shard_slot = slot - sh.begin;
+          ArqProgress& st = progress[shard_slot];
+          const TagLink& link = links_[tag];
 
           if (ev.type == EventType::kQuery) {
             ++ts.queries;
+            const mac::LinkWaveform wf = st.fallback.current();
+
+            // Fault + policy gates, cheapest first. Skipped polls make no
+            // RNG draws; every (tag, round, phase) substream stays
+            // independent of the gates, so the digest contract holds.
+            if (link.link_down) {
+              ++ts.link_down_polls;
+              mark_disrupted(st, ev.time_us);
+              record_trace(ev.time_us, tag, round, PollOutcome::kLinkDown, wf,
+                           link.ap, false);
+              continue;
+            }
+            bool failover = false;
+            std::uint32_t serving_ap = link.ap;
+            if (timeline_.ap_down(link.ap, ev.time_us)) {
+              if (link.has_failover &&
+                  !timeline_.ap_down(link.failover_ap, ev.time_us)) {
+                failover = true;
+                serving_ap = link.failover_ap;
+              } else {
+                ++ts.outage_skips;
+                mark_disrupted(st, ev.time_us);
+                record_trace(ev.time_us, tag, round, PollOutcome::kApOutage,
+                             wf, link.ap, false);
+                continue;
+              }
+            }
+            if (timeline_.tag_browned_out(tag, ev.time_us)) {
+              ++ts.brownout_skips;
+              mark_disrupted(st, ev.time_us);
+              record_trace(ev.time_us, tag, round, PollOutcome::kBrownout, wf,
+                           serving_ap, false);
+              continue;
+            }
+            if (st.backoff_remaining > 0) {
+              --st.backoff_remaining;
+              ++ts.backoff_skips;
+              record_trace(ev.time_us, tag, round, PollOutcome::kBackoff, wf,
+                           serving_ap, false);
+              continue;
+            }
+
+            // This poll is a real delivery attempt.
+            if (!st.in_flight) {
+              st.in_flight = true;
+              st.frag = 0;
+              st.frag_attempts = 0;
+              st.msg_attempts = 0;
+              st.retx_used = 0;
+              ++ts.messages_offered;
+            }
+            const bool retx = cfg_.enable_arq && st.frag_attempts > 0;
+            if (retx) {
+              ++ts.retransmissions;
+              ++st.retx_used;
+            }
+            ++st.frag_attempts;
+            ++st.msg_attempts;
+            if (failover) ++ts.failover_polls;
+            if (st.fallback.degraded()) ++ts.fallback_polls;
+
             auto rng = entity_stream(cfg_.seed, tag,
                                      phase_counter(round, kQueryPhase));
-            if (rng.uniform() < links_[tag].downlink_miss_prob) {
+            const Real miss = failover ? link.failover_downlink_miss_prob
+                                       : link.downlink_miss_prob;
+            if (rng.uniform() < miss) {
               ++ts.downlink_misses;
+              record_trace(ev.time_us, tag, round, PollOutcome::kDownlinkMiss,
+                           wf, serving_ap, retx);
+              resolve_attempt(ts, st, PollOutcome::kDownlinkMiss, ev.time_us);
               continue;
             }
             // The addressed tag replies mid-way through the advertising
             // window that follows the query.
             queue.schedule(ev.time_us + query_us +
                                0.5 * cfg_.polling.advertising_interval_ms * 1e3,
-                           EventType::kReply, tag, ev.data);
+                           EventType::kReply, tag,
+                           ev.data | (failover ? kFailoverBit : 0));
             continue;
           }
 
           // kReply: reservation outcome, then budget-level decode.
+          const bool failover = (ev.data & kFailoverBit) != 0;
+          const std::uint32_t serving_ap =
+              failover ? link.failover_ap : link.ap;
+          const mac::LinkWaveform wf = st.fallback.current();
+          const auto wi = static_cast<std::size_t>(wf);
+          const bool retx = cfg_.enable_arq && st.frag_attempts > 1;
           auto rng =
               entity_stream(cfg_.seed, tag, phase_counter(round, kReplyPhase));
           ts.airtime_us += control_amortized_us;
+
+          // Interference bursts raise the CCA busy probability; the
+          // reservation closed form is cheap enough to re-solve live for
+          // the affected slots only.
+          const mac::ReservationOutcome* ocp = &oc;
+          mac::ReservationOutcome fault_oc;
+          const Real busy_boost =
+              timeline_.any() ? timeline_.channel_busy_boost(g, ev.time_us)
+                              : Real{0.0};
+          if (busy_boost > 0.0) {
+            mac::ReservationConfig rc;
+            rc.scheme = cfg_.reservation;
+            rc.channel_busy_probability = std::min(
+                channels_[g].busy_probability + busy_boost, Real{0.99});
+            rc.cts_detection_probability = cfg_.cts_detection_probability;
+            fault_oc = mac::reservation_outcome(rc);
+            ocp = &fault_oc;
+          }
+
           const double u = rng.uniform();
-          if (u >= oc.p_clean + oc.p_collision) {
+          if (u >= ocp->p_clean + ocp->p_collision) {
             ++ts.reservation_denied;  // silent: reservation not granted
+            record_trace(ev.time_us, tag, round,
+                         PollOutcome::kReservationDenied, wf, serving_ap,
+                         retx);
+            resolve_attempt(ts, st, PollOutcome::kReservationDenied,
+                            ev.time_us);
             continue;
           }
-          ts.airtime_us += frame_us;
-          if (u >= oc.p_clean) {
+          ts.airtime_us += attempt_airtime_us[wi];
+          ts.tx_energy_nj += attempt_energy_nj[g][wi];
+          if (u >= ocp->p_clean) {
             ++ts.collisions;
+            record_trace(ev.time_us, tag, round, PollOutcome::kCollision, wf,
+                         serving_ap, retx);
+            resolve_attempt(ts, st, PollOutcome::kCollision, ev.time_us);
             continue;
           }
-          if (rng.uniform() < links_[tag].reply_per) {
+          // Active noise-floor faults (bursts, slumps) force the PER back
+          // through the closed form at the degraded SNR; clean slots use
+          // the precomputed per-rung table.
+          Real per = failover ? link.failover_waveform_per[wi]
+                              : link.waveform_per[wi];
+          const Real rise =
+              timeline_.any()
+                  ? timeline_.channel_noise_rise_db(g, ev.time_us)
+                  : Real{0.0};
+          if (rise > 0.0) {
+            const Real snr = (failover ? link.failover_snr_db : link.snr_db) -
+                             channels_[g].leakage_noise_rise_db - rise;
+            per = waveform_per_at(wf, snr, wire_bytes_);
+          }
+          if (rng.uniform() < per) {
             ++ts.decode_failures;
+            record_trace(ev.time_us, tag, round, PollOutcome::kDecodeFailure,
+                         wf, serving_ap, retx);
+            resolve_attempt(ts, st, PollOutcome::kDecodeFailure, ev.time_us);
             continue;
           }
           ++ts.replies;
-          ts.payload_bits += payload_bits;
-          const std::size_t shard_slot = slot - sh.begin;
-          const double done_us = ev.time_us + frame_us;
+          ts.payload_bits += cfg_.enable_arq ? frag_bits : payload_bits;
+          record_trace(ev.time_us, tag, round, PollOutcome::kDelivered, wf,
+                       serving_ap, retx);
+          const double done_us = ev.time_us + attempt_airtime_us[wi];
           latency.record(done_us - pending_since[shard_slot]);
           pending_since[shard_slot] =
               static_cast<double>(round + 1) * round_us[g];
+          resolve_attempt(ts, st, PollOutcome::kDelivered, done_us);
         }
 
         // Static per-tag link annotations + deterministic harvest model.
         for (std::size_t s = sh.begin; s < sh.end; ++s) {
           const std::uint32_t tag = group_tags_[g][s];
           TagStats& ts = tag_stats[tag];
+          const ArqProgress& st = progress[s - sh.begin];
           ts.tag_id = tag;
           ts.wifi_channel = links_[tag].wifi_channel;
           ts.helper = links_[tag].helper;
@@ -323,6 +643,8 @@ NetworkStats NetworkCoordinator::run() const {
           ts.snr_db =
               links_[tag].snr_db - channels_[g].leakage_noise_rise_db;
           ts.reply_per = links_[tag].reply_per;
+          ts.rate_downshifts = st.fallback.downshifts();
+          ts.rate_upshifts = st.fallback.upshifts();
           // The helper advertises every interval for the whole timeline and
           // illuminates all its tags — not just the one being polled — so
           // harvest time is independent of fleet size; the AP's queries add
@@ -345,14 +667,28 @@ NetworkStats NetworkCoordinator::run() const {
     ch.collisions = 0;
   }
   for (const LatencyHistogram& h : shard_latency) out.query_latency.merge(h);
+  for (const LatencyHistogram& h : shard_recovery) out.recovery_time.merge(h);
+  for (const RetryHistogram& h : shard_retries) out.retry_histogram.merge(h);
+  if (cfg_.keep_trace) {
+    for (std::vector<PollRecord>& t : shard_trace) {
+      out.trace.insert(out.trace.end(), t.begin(), t.end());
+    }
+    // Shard order is per-group slot order; re-sort into one global
+    // timeline. (time, tag, round) is a total order over poll records.
+    std::sort(out.trace.begin(), out.trace.end(),
+              [](const PollRecord& a, const PollRecord& b) {
+                if (a.time_us != b.time_us) return a.time_us < b.time_us;
+                if (a.tag != b.tag) return a.tag < b.tag;
+                return a.round < b.round;
+              });
+  }
 
-  const itb::backscatter::IcPowerModel power(cfg_.ic_power);
-  const Real ble_hz = itb::ble::ChannelMap::frequency_hz(cfg_.ble_channel);
   double total_bits = 0.0;
   double sum_tag_goodput = 0.0;
   double sum_airtime_duty = 0.0;
   double sum_harvest_duty = 0.0;
   double sum_power_uw = 0.0;
+  double total_energy_nj = 0.0;
   for (std::size_t g = 0; g < num_groups; ++g) {
     out.elapsed_us = std::max(out.elapsed_us, channels_[g].elapsed_us);
   }
@@ -368,9 +704,20 @@ NetworkStats NetworkCoordinator::run() const {
       out.reservation_denied += ts.reservation_denied;
       out.collisions += ts.collisions;
       out.decode_failures += ts.decode_failures;
+      out.messages_offered += ts.messages_offered;
+      out.messages_delivered += ts.messages_delivered;
+      out.messages_dropped += ts.messages_dropped;
+      out.retransmissions += ts.retransmissions;
+      out.backoff_skips += ts.backoff_skips;
+      out.brownout_skips += ts.brownout_skips;
+      out.outage_skips += ts.outage_skips;
+      out.link_down_polls += ts.link_down_polls;
+      out.failover_polls += ts.failover_polls;
+      out.fallback_polls += ts.fallback_polls;
       out.channels[g].replies += ts.replies;
       out.channels[g].collisions += ts.collisions;
       total_bits += ts.payload_bits;
+      total_energy_nj += ts.tx_energy_nj;
       sum_tag_goodput += mac::safe_goodput_kbps(ts.payload_bits, elapsed);
       const double airtime_duty =
           elapsed > 0.0 ? ts.airtime_us / elapsed : 0.0;
@@ -384,6 +731,14 @@ NetworkStats NetworkCoordinator::run() const {
   }
   out.aggregate_goodput_kbps =
       mac::safe_goodput_kbps(total_bits, out.elapsed_us);
+  const std::uint64_t completed = out.messages_delivered + out.messages_dropped;
+  if (completed > 0) {
+    out.delivery_ratio = static_cast<double>(out.messages_delivered) /
+                         static_cast<double>(completed);
+  }
+  if (total_bits > 0.0) {
+    out.energy_per_delivered_byte_nj = total_energy_nj / (total_bits / 8.0);
+  }
   if (n > 0) {
     const auto dn = static_cast<double>(n);
     out.mean_tag_goodput_kbps = sum_tag_goodput / dn;

@@ -20,6 +20,22 @@
 //     proportional to the aggressor's airtime occupancy, degrading its
 //     reply SNR and raising its busy probability.
 //
+// Resilience (ISSUE 6): the coordinator optionally layers
+//   Faults — a compiled sim::FaultTimeline gates every poll: AP outages
+//     orphan tags (or divert them to a precomputed failover AP),
+//     interference bursts raise the victim channel's noise floor and CCA
+//     busy probability, brownouts power tags off, SNR slumps degrade every
+//     reply. Fault gating is slot-atomic: the AP/brownout state sampled at
+//     query time holds for the whole poll.
+//   ARQ — mac/arq selective-repeat: a message fragments into CRC-framed
+//     pieces, each fragment retries up to max_attempts with capped
+//     exponential backoff (idled TDMA slots), bounded by a per-message
+//     retransmission budget. Without ARQ every poll is a one-shot message.
+//   Fallback — a per-tag mac::RateFallbackController walks the DSSS ladder
+//     (optionally into ZigBee) on consecutive decode failures/collisions
+//     and probes back up on success; attempt airtime, PER, and IC energy
+//     all follow the active rung.
+//
 // Fidelity: every link outcome is drawn at *budget level* (channel/link.h
 // closed forms), so 5000 tags simulate in seconds. spot_check_waveform()
 // optionally re-simulates a deterministic sample of links through the full
@@ -27,22 +43,28 @@
 // network-level extension of the budget-vs-waveform cross-check in
 // tests/full_loop_test.cpp.
 //
-// Determinism: see DESIGN.md "Network simulator determinism". Shards are a
-// fixed partition of the tag list (independent of thread count), each shard
-// runs its own EventQueue, every stochastic decision draws from an
-// entity_stream() substream keyed by (tag, round), and the final reduction
-// is a sequential index-ordered merge — so run() is bit-identical at any
-// thread count (asserted in tests/sim_test.cpp).
+// Determinism: see DESIGN.md "Network simulator determinism" and "Fault
+// model and recovery determinism". Shards are a fixed partition of the tag
+// list (independent of thread count), each shard runs its own EventQueue,
+// every stochastic decision draws from an entity_stream() substream keyed
+// by (tag, round), the fault timeline is immutable and queried as a pure
+// function of (entity, time), ARQ/fallback state is a pure fold over one
+// tag's own attempt outcomes, and the final reduction is a sequential
+// index-ordered merge — so run() is bit-identical at any thread count
+// (asserted in tests/sim_test.cpp and tests/resilience_test.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "backscatter/ic_power.h"
 #include "channel/impairments.h"
 #include "channel/link.h"
+#include "mac/arq.h"
 #include "mac/query_reply.h"
 #include "mac/reservation.h"
+#include "sim/faults.h"
 #include "sim/stats.h"
 #include "sim/topology.h"
 #include "wifi/rates.h"
@@ -84,6 +106,22 @@ struct NetworkConfig {
   Real detector_sensitivity_dbm = -32.0;
   Real ap_tx_power_dbm = 15.0;
   backscatter::IcPowerConfig ic_power{};
+  // --- resilience ------------------------------------------------------
+  /// Injected fault events (empty = fault-free). Hand-built via the
+  /// FaultSchedule builder or drawn with generate_fault_schedule().
+  FaultSchedule faults{};
+  /// Link-layer ARQ: fragmentation + selective-repeat retries. Off, every
+  /// poll is a one-shot message (failed poll = dropped message).
+  bool enable_arq = false;
+  mac::ArqConfig arq{};
+  /// Graceful-degradation ladder (enabled inside FallbackConfig).
+  mac::FallbackConfig fallback{};
+  /// Reassign tags of a downed AP to their precomputed next-nearest live
+  /// AP instead of skipping their polls.
+  bool ap_failover = false;
+  /// Collect a per-poll PollRecord trace (golden fault-timeline tests,
+  /// demos). Costs memory; excluded from digest().
+  bool keep_trace = false;
   // --- execution -------------------------------------------------------
   std::uint64_t seed = 1;
   /// Worker threads for the shard fan-out; 0 = all hardware threads.
@@ -107,6 +145,20 @@ struct TagLink {
   Real downlink_rssi_dbm = 0.0;
   Real downlink_miss_prob = 0.0;
   Real reply_per = 0.0;       ///< PER at the leakage-degraded SNR
+  /// Budget declared the link dead (channel::backscatter_rssi guard):
+  /// polls resolve to PollOutcome::kLinkDown without drawing.
+  bool link_down = false;
+  /// PER per fallback rung at the leakage-degraded SNR and the effective
+  /// wire size (ARQ fragment framing included when enabled). Indexed by
+  /// mac::LinkWaveform; [waveform_for_rate(cfg.rate)] is the rung polls
+  /// start at.
+  std::array<Real, mac::kNumLinkWaveforms> waveform_per{};
+  // --- AP failover (next-nearest AP, used when the primary is down) ----
+  bool has_failover = false;
+  std::uint32_t failover_ap = 0;
+  Real failover_snr_db = itb::channel::kLinkDownDb;
+  Real failover_downlink_miss_prob = 1.0;
+  std::array<Real, mac::kNumLinkWaveforms> failover_waveform_per{};
 };
 
 /// One sampled link re-run at waveform level next to its budget prediction.
@@ -139,6 +191,12 @@ class NetworkCoordinator {
   const Placement& placement() const { return placement_; }
   const std::vector<TagLink>& links() const { return links_; }
   const std::vector<ChannelStats>& channel_plan() const { return channels_; }
+  const FaultTimeline& fault_timeline() const { return timeline_; }
+  /// Bytes each attempt puts on the air: payload_bytes plus the ARQ
+  /// fragment framing when ARQ splits/frames the message.
+  std::size_t wire_bytes() const { return wire_bytes_; }
+  /// Fragments per message (1 without ARQ or fragmentation).
+  std::size_t fragments_per_message() const { return fragments_; }
 
  private:
   NetworkConfig cfg_;
@@ -148,6 +206,9 @@ class NetworkCoordinator {
   /// Tag ids grouped by FDMA channel, each group in ascending id order;
   /// a tag's TDMA slot is its position in its group.
   std::vector<std::vector<std::uint32_t>> group_tags_;
+  FaultTimeline timeline_;  ///< compiled faults; immutable during run()
+  std::size_t wire_bytes_ = 0;
+  std::size_t fragments_ = 1;
 };
 
 }  // namespace itb::sim

@@ -48,6 +48,40 @@ double LatencyHistogram::quantile_us(double q) const {
   return bin_upper_us(kBins - 1);
 }
 
+void RetryHistogram::record(std::size_t attempts) {
+  if (attempts == 0) attempts = 1;
+  ++counts[std::min(attempts - 1, kBins - 1)];
+  ++total;
+  sum_attempts += attempts;
+}
+
+void RetryHistogram::merge(const RetryHistogram& other) {
+  for (std::size_t b = 0; b < kBins; ++b) counts[b] += other.counts[b];
+  total += other.total;
+  sum_attempts += other.sum_attempts;
+}
+
+double RetryHistogram::mean_attempts() const {
+  return total == 0 ? 0.0
+                    : static_cast<double>(sum_attempts) /
+                          static_cast<double>(total);
+}
+
+const char* poll_outcome_name(PollOutcome o) {
+  switch (o) {
+    case PollOutcome::kDelivered: return "delivered";
+    case PollOutcome::kDownlinkMiss: return "downlink_miss";
+    case PollOutcome::kReservationDenied: return "reservation_denied";
+    case PollOutcome::kCollision: return "collision";
+    case PollOutcome::kDecodeFailure: return "decode_failure";
+    case PollOutcome::kBackoff: return "backoff";
+    case PollOutcome::kBrownout: return "brownout";
+    case PollOutcome::kApOutage: return "ap_outage";
+    case PollOutcome::kLinkDown: return "link_down";
+  }
+  return "?";
+}
+
 namespace {
 
 class Fnv1a {
@@ -72,6 +106,12 @@ void mix_histogram(Fnv1a& h, const LatencyHistogram& lat) {
   h.mix(lat.max_us);
 }
 
+void mix_retry_histogram(Fnv1a& h, const RetryHistogram& r) {
+  for (const auto c : r.counts) h.mix(c);
+  h.mix(r.total);
+  h.mix(r.sum_attempts);
+}
+
 }  // namespace
 
 std::uint64_t NetworkStats::digest() const {
@@ -91,6 +131,20 @@ std::uint64_t NetworkStats::digest() const {
   h.mix(mean_airtime_duty);
   h.mix(mean_harvest_duty);
   h.mix(mean_tag_power_uw);
+  h.mix(messages_offered);
+  h.mix(messages_delivered);
+  h.mix(messages_dropped);
+  h.mix(retransmissions);
+  h.mix(backoff_skips);
+  h.mix(brownout_skips);
+  h.mix(outage_skips);
+  h.mix(link_down_polls);
+  h.mix(failover_polls);
+  h.mix(fallback_polls);
+  h.mix(delivery_ratio);
+  mix_retry_histogram(h, retry_histogram);
+  mix_histogram(h, recovery_time);
+  h.mix(energy_per_delivered_byte_nj);
   for (const ChannelStats& c : channels) {
     h.mix(static_cast<std::uint64_t>(c.wifi_channel));
     h.mix(static_cast<std::uint64_t>(c.tags));
@@ -117,6 +171,19 @@ std::uint64_t NetworkStats::digest() const {
     h.mix(t.harvest_us);
     h.mix(t.snr_db);
     h.mix(t.reply_per);
+    h.mix(t.messages_offered);
+    h.mix(t.messages_delivered);
+    h.mix(t.messages_dropped);
+    h.mix(t.retransmissions);
+    h.mix(t.backoff_skips);
+    h.mix(t.brownout_skips);
+    h.mix(t.outage_skips);
+    h.mix(t.link_down_polls);
+    h.mix(t.failover_polls);
+    h.mix(t.fallback_polls);
+    h.mix(t.rate_downshifts);
+    h.mix(t.rate_upshifts);
+    h.mix(t.tx_energy_nj);
   }
   return h.value();
 }

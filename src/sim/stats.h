@@ -45,6 +45,46 @@ struct LatencyHistogram {
   double quantile_us(double q) const;
 };
 
+/// Attempts-per-delivered-message histogram. Bin b counts messages that
+/// needed b+1 transmission attempts; the last bin absorbs the tail.
+struct RetryHistogram {
+  static constexpr std::size_t kBins = 9;  ///< 1..8 attempts, 9+ in the tail
+
+  std::array<std::uint64_t, kBins> counts{};
+  std::uint64_t total = 0;
+  std::uint64_t sum_attempts = 0;
+
+  void record(std::size_t attempts);
+  void merge(const RetryHistogram& other);
+  double mean_attempts() const;
+};
+
+/// How one TDMA poll slot resolved (per-poll trace + outcome taxonomy).
+enum class PollOutcome : std::uint8_t {
+  kDelivered = 0,         ///< fragment decoded at the AP
+  kDownlinkMiss = 1,      ///< tag never heard the query
+  kReservationDenied = 2, ///< tag stayed silent (reservation not granted)
+  kCollision = 3,
+  kDecodeFailure = 4,
+  kBackoff = 5,           ///< tag idled the slot (ARQ exponential backoff)
+  kBrownout = 6,          ///< harvest brownout: tag unpowered
+  kApOutage = 7,          ///< AP down and no live failover target
+  kLinkDown = 8,          ///< budget declared the link dead (channel::link)
+};
+const char* poll_outcome_name(PollOutcome o);
+
+/// One polling-slot record, collected only when NetworkConfig::keep_trace
+/// is set (golden fault-timeline tests, demos). Not part of digest().
+struct PollRecord {
+  double time_us = 0.0;
+  std::uint32_t tag = 0;
+  std::uint32_t round = 0;
+  PollOutcome outcome = PollOutcome::kDelivered;
+  std::uint8_t waveform = 0;  ///< mac::LinkWaveform in effect for the poll
+  std::uint32_t ap = 0;       ///< AP that served (or would have served) it
+  bool retransmission = false;
+};
+
 /// Per-tag accounting, written by exactly one shard (disjoint slots).
 struct TagStats {
   std::uint32_t tag_id = 0;
@@ -62,6 +102,20 @@ struct TagStats {
   double harvest_us = 0.0;   ///< time illuminated by helper/AP carriers
   double snr_db = 0.0;       ///< budget-level reply SNR (after leakage rise)
   double reply_per = 0.0;    ///< closed-form PER at that SNR
+  // --- resilience (ARQ / faults / fallback) ---------------------------
+  std::uint64_t messages_offered = 0;    ///< delivered + dropped + in flight
+  std::uint64_t messages_delivered = 0;  ///< all fragments decoded
+  std::uint64_t messages_dropped = 0;    ///< retry budget / attempts exhausted
+  std::uint64_t retransmissions = 0;
+  std::uint64_t backoff_skips = 0;   ///< slots idled by ARQ backoff
+  std::uint64_t brownout_skips = 0;  ///< slots lost to harvest brownouts
+  std::uint64_t outage_skips = 0;    ///< slots lost to AP outage (no failover)
+  std::uint64_t link_down_polls = 0; ///< polls refused: budget declared link dead
+  std::uint64_t failover_polls = 0;  ///< polls served by the backup AP
+  std::uint64_t fallback_polls = 0;  ///< attempts below the configured rate
+  std::uint64_t rate_downshifts = 0;
+  std::uint64_t rate_upshifts = 0;
+  double tx_energy_nj = 0.0;  ///< transmit energy over all attempts (IC model)
 };
 
 /// Per-Wi-Fi-channel (FDMA group) accounting.
@@ -96,11 +150,35 @@ struct NetworkStats {
   double mean_harvest_duty = 0.0;
   /// Mean tag power draw at its duty cycle (uW), via IcPowerModel.
   double mean_tag_power_uw = 0.0;
+  // --- resilience -----------------------------------------------------
+  std::uint64_t messages_offered = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t backoff_skips = 0;
+  std::uint64_t brownout_skips = 0;
+  std::uint64_t outage_skips = 0;
+  std::uint64_t link_down_polls = 0;
+  std::uint64_t failover_polls = 0;
+  std::uint64_t fallback_polls = 0;
+  /// delivered / (delivered + dropped): messages still in flight when the
+  /// run ends are censored, not counted against the link layer. 1.0 when
+  /// nothing completed.
+  double delivery_ratio = 1.0;
+  RetryHistogram retry_histogram;
+  /// Time from a tag's first failed/skipped poll to its next successful
+  /// delivery — how long disruptions (faults, deep fades) take to heal.
+  LatencyHistogram recovery_time;
+  /// Transmit energy per delivered payload byte, nJ (0 when nothing was
+  /// delivered). Retries and fallback rungs pay real energy here.
+  double energy_per_delivered_byte_nj = 0.0;
   std::vector<ChannelStats> channels;
   std::vector<TagStats> per_tag;  ///< empty when NetworkConfig::keep_per_tag off
+  std::vector<PollRecord> trace;  ///< only when NetworkConfig::keep_trace
 
-  /// FNV-1a hash over every field (doubles by bit pattern, vectors in index
-  /// order). Two runs are bit-identical iff their digests match.
+  /// FNV-1a hash over every field except the trace (doubles by bit
+  /// pattern, vectors in index order). Two runs are bit-identical iff
+  /// their digests match.
   std::uint64_t digest() const;
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "channel/antenna.h"
 #include "channel/awgn.h"
@@ -257,6 +258,58 @@ TEST(Link, HigherRateNeedsMoreSnr) {
   const Real snr = 6.0;
   EXPECT_GT(per_80211b(itb::wifi::DsssRate::k11Mbps, snr, 31),
             per_80211b(itb::wifi::DsssRate::k2Mbps, snr, 31));
+}
+
+TEST(Link, DegenerateGeometryReportsLinkDownNotNan) {
+  // Non-positive or NaN distances drive the pathloss model to NaN/-inf;
+  // the guard must surface an explicit dead link instead.
+  BackscatterLinkConfig cfg;
+  for (const Real bad : {Real{0.0}, Real{-2.0},
+                         std::numeric_limits<Real>::quiet_NaN()}) {
+    cfg.ble_tag_distance_m = 1.0;
+    const LinkSample s = backscatter_rssi(cfg, bad);
+    EXPECT_TRUE(s.link_down);
+    EXPECT_DOUBLE_EQ(s.snr_db, kLinkDownDb);
+    EXPECT_FALSE(std::isnan(s.rssi_dbm));
+
+    cfg.ble_tag_distance_m = bad;
+    const LinkSample s2 = backscatter_rssi(cfg, 1.0);
+    EXPECT_TRUE(s2.link_down);
+    EXPECT_DOUBLE_EQ(s2.snr_db, kLinkDownDb);
+  }
+  // A detuned model (NaN loss) must also surface as link_down.
+  cfg.ble_tag_distance_m = 1.0;
+  cfg.tag_medium_loss_db = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_TRUE(backscatter_rssi(cfg, 1.0).link_down);
+  // A sane geometry stays up.
+  EXPECT_FALSE(backscatter_rssi(BackscatterLinkConfig{}, 2.0).link_down);
+}
+
+TEST(Link, PerGuardsAgainstNanAndLinkDownSnr) {
+  EXPECT_DOUBLE_EQ(per_80211b(itb::wifi::DsssRate::k2Mbps,
+                              std::numeric_limits<Real>::quiet_NaN(), 31),
+                   1.0);
+  EXPECT_DOUBLE_EQ(per_80211b(itb::wifi::DsssRate::k2Mbps, kLinkDownDb, 31),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      per_802154(std::numeric_limits<Real>::quiet_NaN(), 31), 1.0);
+  EXPECT_DOUBLE_EQ(per_802154(kLinkDownDb, 31), 1.0);
+}
+
+TEST(Link, ZigbeePerMonotoneAndMoreRobustThanWifi) {
+  // 250 kbps O-QPSK in the 22 MHz reference bandwidth gains ~19 dB of
+  // processing margin over 1 Mbps DSSS; at any SNR where Wi-Fi struggles,
+  // the ZigBee rung must decode strictly better (the graceful-degradation
+  // ladder's final rung has to actually help).
+  Real prev = 1.0;
+  for (Real snr = -20.0; snr < 5.0; snr += 2.0) {
+    const Real per = per_802154(snr, 31);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+    EXPECT_LE(per, per_80211b(itb::wifi::DsssRate::k1Mbps, snr, 31) + 1e-12);
+  }
+  EXPECT_LT(per_802154(-8.0, 31), 1e-3);
+  EXPECT_GT(per_802154(-25.0, 31), 0.9);
 }
 
 TEST(Link, DirectRssiSanity) {

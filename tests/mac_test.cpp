@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "mac/dcf.h"
 #include "mac/query_reply.h"
@@ -253,6 +254,34 @@ TEST(QueryReply, ZeroTimeGoodputIsZeroNotNan) {
   EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, -1.0), 0.0);
   EXPECT_DOUBLE_EQ(safe_goodput_kbps(240.0, 1e3), 240.0);
+}
+
+TEST(QueryReply, ValidatedClampsDegeneratePollingConfig) {
+  // Mirrors ReservationConfig::validated(): degenerate rates/intervals fall
+  // back to defaults (they feed poll_slot_us divisions), probabilities
+  // clamp into [0, 1].
+  PollingConfig cfg;
+  cfg.downlink_kbps = 0.0;
+  cfg.advertising_interval_ms = -5.0;
+  cfg.downlink_error_rate = 1.7;
+  cfg.uplink_error_rate = std::numeric_limits<Real>::quiet_NaN();
+  const PollingConfig v = cfg.validated();
+  EXPECT_DOUBLE_EQ(v.downlink_kbps, PollingConfig{}.downlink_kbps);
+  EXPECT_DOUBLE_EQ(v.advertising_interval_ms,
+                   PollingConfig{}.advertising_interval_ms);
+  EXPECT_DOUBLE_EQ(v.downlink_error_rate, 1.0);
+  EXPECT_DOUBLE_EQ(v.uplink_error_rate, 0.0);
+  EXPECT_GT(poll_slot_us(v), 0.0);
+
+  cfg.downlink_kbps = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(cfg.validated().downlink_kbps,
+                   PollingConfig{}.downlink_kbps);
+
+  // An already-sane config passes through untouched.
+  const PollingConfig sane;
+  const PollingConfig sv = sane.validated();
+  EXPECT_DOUBLE_EQ(sv.downlink_kbps, sane.downlink_kbps);
+  EXPECT_DOUBLE_EQ(sv.uplink_error_rate, sane.uplink_error_rate);
 }
 
 TEST(QueryReply, EmptyPayloadsDeliverZeroGoodput) {
