@@ -52,7 +52,11 @@ DownlinkResult simulate_downlink(const DownlinkScenario& scenario,
     const Real g = std::sqrt(itb::dsp::dbm_to_watts(out.rx_power_dbm) / cur);
     for (auto& v : rx) v *= g;
   }
-  itb::dsp::Xoshiro256 rng(scenario.seed ^ 0x9E3779B97F4A7C15ULL);
+  // Domain-separated substream ("dnlk"): the raw xor this replaces reused
+  // the golden-ratio increment that SplitMix64 itself adds, so uplink and
+  // downlink noise draws were one splitmix step from colliding.
+  itb::dsp::Xoshiro256 rng(
+      itb::dsp::splitmix64(scenario.seed ^ 0x646E6C6BULL));
   const Real noise_dbm = itb::channel::thermal_noise_dbm(20e6, 7.0);
   rx = itb::channel::add_noise_variance(
       rx, itb::dsp::dbm_to_watts(noise_dbm), rng);

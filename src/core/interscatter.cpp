@@ -73,7 +73,9 @@ UplinkDecodeResult InterscatterSystem::simulate_frame(
   // --- Receiver-side baseband ----------------------------------------------
   // Down-convert to the Wi-Fi channel: multiply by e^{-j 2 pi shift t} and
   // decimate to 11 Msps (1 sample/chip). 143/13 = 11 exactly.
-  itb::dsp::Xoshiro256 rng(scenario_.seed);
+  // Domain-separated substream ("uplk"); see DESIGN.md determinism rules.
+  itb::dsp::Xoshiro256 rng(
+      itb::dsp::splitmix64(scenario_.seed ^ 0x75706C6BULL));
   const Real fs = synth_cfg.sample_rate_hz;
   itb::dsp::CVec shifted =
       itb::channel::apply_cfo(synth.waveform, -synth_cfg.shift_hz, fs);

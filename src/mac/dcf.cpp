@@ -25,7 +25,9 @@ std::size_t rate_index(Real mbps) {
 
 DcfResult simulate_dcf(const DcfConfig& cfg, const InterfererConfig& interferer,
                        Real duration_s, std::uint64_t seed) {
-  itb::dsp::Xoshiro256 rng(seed);
+  // Domain-separated substream ("dcf"): the same experiment seed handed to
+  // another module must not replay these arrival/backoff draws.
+  itb::dsp::Xoshiro256 rng(itb::dsp::splitmix64(seed ^ 0x646366ULL));
   const Real duration_us = duration_s * 1e6;
 
   // Pre-draw interferer packet start times (Poisson arrivals).

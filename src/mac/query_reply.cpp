@@ -69,7 +69,8 @@ std::optional<QueryFrame> QueryFrame::from_bits(const Bits& bits) {
 PollingStats simulate_polling(const std::vector<PolledTag>& tags,
                               const PollingConfig& cfg, std::size_t rounds,
                               std::uint64_t seed) {
-  itb::dsp::Xoshiro256 rng(seed);
+  // Domain-separated substream ("poll"); see DESIGN.md determinism rules.
+  itb::dsp::Xoshiro256 rng(itb::dsp::splitmix64(seed ^ 0x706F6C6CULL));
   PollingStats out;
   double payload_bits_delivered = 0.0;
 

@@ -67,7 +67,8 @@ ReservationOutcome reservation_outcome(const ReservationConfig& raw) {
 ReservationResult evaluate_reservation(const ReservationConfig& raw,
                                        std::size_t events, std::uint64_t seed) {
   const ReservationConfig cfg = raw.validated();
-  itb::dsp::Xoshiro256 rng(seed);
+  // Domain-separated substream ("resv"); see DESIGN.md determinism rules.
+  itb::dsp::Xoshiro256 rng(itb::dsp::splitmix64(seed ^ 0x72657376ULL));
   ReservationResult out;
 
   double clean_total = 0.0;

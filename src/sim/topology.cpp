@@ -115,7 +115,9 @@ Placement hospital_ward(const TopologyConfig& cfg,
 }  // namespace
 
 Placement generate_topology(const TopologyConfig& cfg) {
-  itb::dsp::Xoshiro256 rng(cfg.seed);
+  // Domain-separated substream ("topo"): placement draws must not alias the
+  // per-entity entity_stream() substreams that reuse the same sim seed.
+  itb::dsp::Xoshiro256 rng(itb::dsp::splitmix64(cfg.seed ^ 0x746F706FULL));
   Placement out;
   switch (cfg.kind) {
     case TopologyKind::kGrid:

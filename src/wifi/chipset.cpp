@@ -26,7 +26,11 @@ ChipsetModel generic_random() {
 
 SeedSequencer::SeedSequencer(const ChipsetModel& model, std::uint64_t rng_seed,
                              std::uint8_t initial)
-    : model_(model), current_(initial), rng_(rng_seed) {
+    // Domain-separated substream ("chip"); member-init seeding is outside
+    // detlint's token scan, so keep it compliant by hand.
+    : model_(model),
+      current_(initial),
+      rng_(itb::dsp::splitmix64(rng_seed ^ 0x63686970ULL)) {
   if (model_.policy == SeedPolicy::kFixed) current_ = model_.fixed_seed;
   if (current_ == 0) current_ = 1;
 }

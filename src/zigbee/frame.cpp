@@ -10,7 +10,8 @@ namespace itb::zigbee {
 Bytes build_ppdu(const Bytes& mac_payload) {
   assert(mac_payload.size() + 2 <= kMaxPsduBytes);
   Bytes out;
-  out.insert(out.end(), 4, 0x00);  // preamble
+  out.reserve(4 + 2 + mac_payload.size() + 2);
+  out.assign(4, 0x00);  // preamble
   out.push_back(kSfd);
   out.push_back(static_cast<std::uint8_t>(mac_payload.size() + 2));  // PHR
   out.insert(out.end(), mac_payload.begin(), mac_payload.end());

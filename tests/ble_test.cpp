@@ -116,7 +116,9 @@ TEST(AdvPacket, WrongChannelDewhiteningFails) {
   const AdvPacket pkt = build_adv_packet(cfg, 37);
   const auto parsed = parse_adv_packet(pkt.air_bits, 38);
   // Either unparseable or CRC failure — never a clean parse.
-  if (parsed.has_value()) EXPECT_FALSE(parsed->crc_ok);
+  if (parsed.has_value()) {
+    EXPECT_FALSE(parsed->crc_ok);
+  }
 }
 
 TEST(AdvPacket, WrongAccessAddressRejected) {

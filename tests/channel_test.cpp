@@ -188,7 +188,9 @@ TEST(Link, RssiDecreasesWithDistance) {
   bool first = true;
   for (Real d = 1.0; d < 30.0; d *= 1.5) {
     const LinkSample s = backscatter_rssi(cfg, d);
-    if (!first) EXPECT_LT(s.rssi_dbm, prev);
+    if (!first) {
+      EXPECT_LT(s.rssi_dbm, prev);
+    }
     prev = s.rssi_dbm;
     first = false;
   }

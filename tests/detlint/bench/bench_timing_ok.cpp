@@ -1,0 +1,10 @@
+// detlint fixture (never compiled): files under a bench/ directory are
+// exempt from wall-clock — measuring wall time is their whole job. Must
+// produce zero findings.
+#include <chrono>
+
+double measure_once() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,26 @@
+// detlint fixture (never compiled): unsynchronized by-reference mutation
+// inside a core::parallel_for lambda — a data race, and even when benign the
+// accumulation order depends on scheduling, which breaks the bit-identical
+// digest contract.
+#include <cstddef>
+#include <vector>
+
+#include "core/parallel.h"
+
+double racy_accumulate(std::size_t n) {
+  double total = 0.0;
+  std::size_t hits = 0;
+  std::vector<double> out(4, 0.0);
+  itb::core::parallel_for(n, 8, [&](std::size_t i) {
+    total += static_cast<double>(i);  // EXPECT-DETLINT: parallel-capture
+    ++hits;                           // EXPECT-DETLINT: parallel-capture
+    out[0] = total;                   // EXPECT-DETLINT: parallel-capture
+  });
+  return total + static_cast<double>(hits);
+}
+
+void racy_push(std::vector<double>& results, std::size_t n) {
+  itb::core::parallel_for(n, 0, [&](std::size_t i) {
+    results.push_back(static_cast<double>(i));  // EXPECT-DETLINT: parallel-capture
+  });
+}

@@ -1,0 +1,37 @@
+// detlint fixture (never compiled): the three sanctioned ways to write out
+// of a parallel_for body — disjoint per-index slots, atomics, and an
+// explicit lock. Must produce zero findings.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/parallel.h"
+
+void per_slot_writes(std::vector<double>& out) {
+  itb::core::parallel_for(out.size(), 0, [&](std::size_t i) {
+    double local = static_cast<double>(i);
+    local += 1.0;
+    out[i] = local;
+  });
+}
+
+void atomic_counter(std::size_t n, std::atomic<std::size_t>& hits) {
+  itb::core::parallel_for(n, 0, [&](std::size_t) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void locked_accumulate(std::size_t n, double& total, std::mutex& mu) {
+  itb::core::parallel_for(n, 0, [&](std::size_t i) {
+    const std::lock_guard<std::mutex> lock(mu);
+    total += static_cast<double>(i);
+  });
+}
+
+void by_value_capture(std::size_t n) {
+  double bias = 1.0;
+  itb::core::parallel_for(n, 0, [bias](std::size_t i) {
+    (void)(bias + static_cast<double>(i));
+  });
+}

@@ -1,0 +1,20 @@
+// detlint fixture (never compiled): pointer values used for hashing or
+// ordering — addresses vary run to run (ASLR, allocator state), so any
+// result derived from them is irreproducible.
+#include <cstdint>
+#include <functional>
+#include <set>
+
+struct Tag {
+  std::uint32_t id;
+};
+
+std::size_t hash_by_address(const Tag* tag) {
+  return std::hash<const Tag*>{}(tag);  // EXPECT-DETLINT: ptr-order
+}
+
+using TagSet = std::set<Tag*, std::less<Tag*>>;  // EXPECT-DETLINT: ptr-order
+
+std::uint64_t address_as_key(const Tag* tag) {
+  return reinterpret_cast<std::uintptr_t>(tag);  // EXPECT-DETLINT: ptr-order
+}

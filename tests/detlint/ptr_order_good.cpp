@@ -1,0 +1,22 @@
+// detlint fixture (never compiled): reproducible keying — hash and order by
+// stable entity ids, never by address. Must produce zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+struct Tag {
+  std::uint32_t id;
+};
+
+std::size_t hash_by_id(const Tag& tag) {
+  return std::hash<std::uint32_t>{}(tag.id);
+}
+
+void sort_by_id(std::vector<Tag*>& tags) {
+  std::sort(tags.begin(), tags.end(),
+            [](const Tag* a, const Tag* b) { return a->id < b->id; });
+}
+
+// static_cast between integer widths is unrelated to pointer identity.
+std::uint32_t narrow(std::uint64_t x) { return static_cast<std::uint32_t>(x); }

@@ -1,0 +1,23 @@
+// detlint fixture (never compiled): RNG engines seeded outside the
+// substream scheme, and std engines/distributions whose streams are not
+// portable across standard library implementations.
+#include <cstdint>
+#include <random>
+
+#include "dsp/rng.h"
+
+double ad_hoc_engine(std::uint64_t seed) {
+  std::mt19937 gen(static_cast<unsigned>(seed));  // EXPECT-DETLINT: rng-seed
+  std::uniform_real_distribution<double> dist;    // EXPECT-DETLINT: rng-seed
+  return dist(gen);
+}
+
+std::uint64_t raw_seed_passthrough(std::uint64_t seed) {
+  itb::dsp::Xoshiro256 rng(seed);  // EXPECT-DETLINT: rng-seed
+  return rng.next_u64();
+}
+
+std::uint64_t derived_but_ad_hoc(std::uint64_t seed, std::uint64_t shard) {
+  itb::dsp::Xoshiro256 rng(seed + shard * 31);  // EXPECT-DETLINT: rng-seed
+  return rng.next_u64();
+}

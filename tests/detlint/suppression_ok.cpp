@@ -1,0 +1,24 @@
+// detlint fixture (never compiled): suppression syntax — a finding on a
+// line carrying `detlint: allow(<rule>)`, or on the line after a standalone
+// allow comment, is silenced. Must produce zero findings.
+#include <ctime>
+#include <random>
+
+#include "dsp/rng.h"
+
+long cli_banner_timestamp() {
+  return std::time(nullptr);  // detlint: allow(wall-clock) — banner only
+}
+
+double interop_reference_stream(unsigned seed_word) {
+  // Cross-checks a third-party trace that was generated with libstdc++'s
+  // mt19937; portability is the point of the comparison.
+  // detlint: allow(rng-seed)
+  std::mt19937 gen(seed_word);
+  return static_cast<double>(gen());
+}
+
+long multi_rule_allow(unsigned w) {
+  // detlint: allow(wall-clock, rng-seed)
+  return std::time(nullptr) + std::minstd_rand(w)();
+}

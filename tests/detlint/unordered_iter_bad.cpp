@@ -1,0 +1,32 @@
+// detlint fixture (never compiled): iteration over unordered containers —
+// traversal order is unspecified and leaks into any stat, digest, or trace
+// built from it.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+double sum_per(const std::unordered_map<std::uint32_t, double>& per_tag) {
+  double total = 0.0;
+  for (const auto& kv : per_tag) {  // EXPECT-DETLINT: unordered-iter
+    total += kv.second;
+  }
+  return total;
+}
+
+std::uint64_t digest_members(const std::unordered_set<std::uint32_t>& tags) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (auto it = tags.begin(); it != tags.end(); ++it) {  // EXPECT-DETLINT: unordered-iter
+    h = (h ^ *it) * 1099511628211ULL;
+  }
+  return h;
+}
+
+using StatsMap = std::unordered_map<std::uint32_t, double>;
+
+double alias_is_still_unordered(const StatsMap& stats) {
+  double total = 0.0;
+  for (const auto& kv : stats) {  // EXPECT-DETLINT: unordered-iter
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,32 @@
+// detlint fixture (never compiled): order-safe patterns — ordered
+// containers, membership tests without traversal, and iterating a sorted
+// key copy instead of the unordered container itself. Must produce zero
+// findings.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double sum_ordered(const std::map<std::uint32_t, double>& per_tag) {
+  double total = 0.0;
+  for (const auto& kv : per_tag) total += kv.second;
+  return total;
+}
+
+double lookup_only(const std::unordered_map<std::uint32_t, double>& cache,
+                   std::uint32_t key) {
+  const auto it = cache.find(key);
+  return it != cache.end() ? it->second : 0.0;
+}
+
+std::vector<std::uint32_t> sorted_keys(
+    const std::unordered_map<std::uint32_t, double>& cache,
+    const std::vector<std::uint32_t>& ids) {
+  std::vector<std::uint32_t> keys;
+  for (const std::uint32_t id : ids) {
+    if (cache.count(id) != 0) keys.push_back(id);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

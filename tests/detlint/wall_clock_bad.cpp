@@ -1,0 +1,29 @@
+// detlint fixture (never compiled): every wall-clock / entropy source the
+// rule bans must fire on the annotated line.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+int entropy_seed() {
+  std::random_device rd;  // EXPECT-DETLINT: wall-clock
+  return static_cast<int>(rd());
+}
+
+long long wall_clock_ns() {
+  const auto t = std::chrono::steady_clock::now();  // EXPECT-DETLINT: wall-clock
+  return t.time_since_epoch().count();
+}
+
+long long system_epoch() {
+  using clk = std::chrono::system_clock;  // EXPECT-DETLINT: wall-clock
+  return clk::now().time_since_epoch().count();
+}
+
+long epoch_seconds() {
+  return std::time(nullptr);  // EXPECT-DETLINT: wall-clock
+}
+
+int libc_rand() {
+  std::srand(7);  // EXPECT-DETLINT: wall-clock
+  return rand();  // EXPECT-DETLINT: wall-clock
+}

@@ -1,0 +1,25 @@
+// detlint fixture (never compiled): compliant time/seed handling — simulated
+// time from the event queue, seeds from the run config — plus identifiers
+// that merely *look* like banned calls. Must produce zero findings.
+#include <cstdint>
+
+struct Event {
+  double time_us;
+};
+
+// A local named `time` is a declarator, not a call.
+double symbol_window(const Event& ev) {
+  double time(ev.time_us);
+  return time * 2.0;
+}
+
+// Member access to a same-named method is a different function entirely.
+struct Frame {
+  double time() const { return 0.0; }
+};
+
+double frame_time(const Frame& f) { return f.time(); }
+
+std::uint64_t seed_from_config(std::uint64_t run_seed) {
+  return run_seed ^ 0x746F706FULL;
+}

@@ -44,7 +44,9 @@ TEST(FuzzMacFrame, TruncationAtEveryLengthIsClean) {
       ASSERT_TRUE(r.has_value());
       EXPECT_TRUE(r->fcs_ok);
     }
-    if (r.has_value()) EXPECT_LE(r->frame.body.size(), cut.size());
+    if (r.has_value()) {
+      EXPECT_LE(r->frame.body.size(), cut.size());
+    }
   }
 }
 
@@ -127,7 +129,9 @@ TEST(FuzzZigbeeFrame, EveryPhrLengthValueIsClean) {
     if (r.has_value()) {
       EXPECT_LE(r->payload.size(), zigbee::kMaxPsduBytes);
       EXPECT_LE(r->payload.size() + 2, mut.size());
-      if (v != payload.size() + 2) EXPECT_FALSE(r->fcs_ok) << "phr " << v;
+      if (v != payload.size() + 2) {
+        EXPECT_FALSE(r->fcs_ok) << "phr " << v;
+      }
     }
   }
 }
@@ -167,7 +171,9 @@ TEST(FuzzBlePacket, TruncationAtEveryLengthIsClean) {
       ASSERT_TRUE(r.has_value());
       EXPECT_TRUE(r->crc_ok);
     }
-    if (r.has_value()) EXPECT_LE(r->payload.size() * 8, cut.size());
+    if (r.has_value()) {
+      EXPECT_LE(r->payload.size() * 8, cut.size());
+    }
   }
 }
 
@@ -213,7 +219,9 @@ TEST(FuzzBlePacket, RandomBitFlipsNeverValidate) {
     }
     if (mut == pkt.air_bits) continue;
     const auto r = ble::parse_adv_packet(mut, 39);
-    if (r.has_value()) EXPECT_FALSE(r->crc_ok) << "iter " << iter;
+    if (r.has_value()) {
+      EXPECT_FALSE(r->crc_ok) << "iter " << iter;
+    }
   }
 }
 

@@ -23,12 +23,15 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
 
 TEST(ParallelFor, SingleThreadRunsInline) {
   std::vector<int> order;
+  // One worker runs inline, so the unguarded push_back cannot race.
+  // detlint: allow(parallel-capture)
   parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(ParallelFor, ZeroCountIsNoop) {
   bool called = false;
+  // Zero iterations: the body never runs.  detlint: allow(parallel-capture)
   parallel_for(0, 4, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
 }

@@ -137,7 +137,7 @@ bool decodes_cleanly(const backscatter::ImpedanceNetwork& network, Real snr_db,
     for (std::size_t k = 0; k < 13; ++k) acc += shifted[i * 13 + k];
     chips[i] = acc / 13.0;
   }
-  dsp::Xoshiro256 rng(seed);
+  dsp::Xoshiro256 rng(dsp::splitmix64(seed));
   const CVec noisy = channel::add_noise_snr(chips, snr_db, rng);
   const wifi::DsssReceiver rx;
   const auto r = rx.receive(noisy);

@@ -233,10 +233,12 @@ TEST(Network, BitIdenticalAcrossThreadCounts1000Tags) {
   cfg.seed = 77;
 
   cfg.num_threads = 1;
+  // Throughput telemetry only; never feeds results.
+  // detlint: allow(wall-clock)
   const auto t0 = std::chrono::steady_clock::now();
   const NetworkStats s1 = NetworkCoordinator(cfg).run();
   const double sec = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
+                         std::chrono::steady_clock::now() - t0)  // detlint: allow(wall-clock)
                          .count();
   EXPECT_LT(sec, 10.0);  // budget-fidelity path must stay fast
 

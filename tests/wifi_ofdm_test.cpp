@@ -28,7 +28,7 @@ using itb::phy::Bits;
 using itb::phy::Bytes;
 
 Bits random_bits(std::size_t n, std::uint64_t seed) {
-  itb::dsp::Xoshiro256 rng(seed);
+  itb::dsp::Xoshiro256 rng(itb::dsp::splitmix64(seed));
   Bits out(n);
   for (auto& b : out) b = rng.bit();
   return out;

@@ -1,0 +1,99 @@
+// detlint CLI: lints the given files/directories (recursing into dirs,
+// .cpp/.cc/.cxx/.h/.hpp only) and prints one `path:line: [rule] message`
+// diagnostic per finding. Exit code 1 when anything fires, 2 on usage / IO
+// errors — so `ctest` and CI can gate on it directly.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--exclude SUBSTR]... PATH...\n"
+               "Static determinism/concurrency checks for this repo.\n"
+               "Rules:");
+  for (const auto& r : detlint::rule_ids()) std::fprintf(stderr, " %s", r.c_str());
+  std::fprintf(stderr,
+               "\nSuppress a finding with `// detlint: allow(<rule>)` on the "
+               "same line\nor a standalone comment on the line above.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> excludes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--exclude") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      excludes.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) &&
+            detlint::is_cpp_source(it->path().string()))
+          files.push_back(it->path().generic_string());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(fs::path(root).generic_string());
+    } else {
+      std::fprintf(stderr, "detlint: cannot read %s\n", root.c_str());
+      return 2;
+    }
+  }
+  const auto excluded = [&](const std::string& f) {
+    for (const std::string& x : excludes)
+      if (f.find(x) != std::string::npos) return true;
+    return false;
+  };
+  files.erase(std::remove_if(files.begin(), files.end(), excluded),
+              files.end());
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  bool io_failed = false;
+  for (const std::string& f : files) {
+    bool io_error = false;
+    const auto findings = detlint::lint_file(f, &io_error);
+    if (io_error) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", f.c_str());
+      io_failed = true;
+      continue;
+    }
+    for (const auto& d : findings) {
+      std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                  d.message.c_str());
+    }
+    total += findings.size();
+  }
+  std::fprintf(stderr, "detlint: %zu file(s) scanned, %zu finding(s)\n",
+               files.size(), total);
+  if (io_failed) return 2;
+  return total == 0 ? 0 : 1;
+}
