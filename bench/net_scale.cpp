@@ -7,13 +7,17 @@
 //   net_scale            full sweep, human-readable table
 //   net_scale --quick    one small repetition (CI smoke: seconds, not minutes)
 //   net_scale --json     machine-readable JSON records instead of the table
+//   net_scale --prof     enable ProfZone wall-clock timing; prints the
+//                        self/total zone table after the sweep
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/prof.h"
 #include "sim/network.h"
 
 namespace {
@@ -77,15 +81,21 @@ Point measure(std::size_t tags, std::size_t rounds, std::size_t threads,
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  bool prof = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--prof") == 0) prof = true;
   }
+  itb::obs::prof_enable(prof);
 
   const std::size_t reps = quick ? 1 : 5;
   std::vector<std::pair<std::size_t, std::size_t>> sweep;  // (tags, threads)
   if (quick) {
-    sweep = {{100, 1}, {500, 1}};
+    // Same points (by name) as the seed baseline, one rep each, so
+    // tools/benchdiff can compare CI smoke output against
+    // bench/baselines/seed_net_scale.json.
+    sweep = {{100, 1}, {1000, 1}, {5000, 1}};
   } else {
     sweep = {{100, 1}, {1000, 1}, {5000, 1}, {5000, 0 /* all hw threads */}};
   }
@@ -123,6 +133,11 @@ int main(int argc, char** argv) {
     std::printf("%8zu %8zu %8zu %10.2f %10.2f %14.0f %14.0f  %016llx\n",
                 p.tags, p.rounds, p.threads, p.build_ms, p.run_ms,
                 p.tags_per_sec, p.polls_per_sec, p.digest);
+  }
+  if (prof) {
+    std::ostringstream table;
+    itb::obs::prof_write_table(table, "sim.run");
+    std::fputs(table.str().c_str(), stdout);
   }
   return 0;
 }

@@ -6,13 +6,41 @@
 // Sweeps the fleet from 10 to 5000 tags and prints the scaling table:
 // aggregate and per-tag goodput, query-latency percentiles, collision and
 // airtime accounting, and the energy-harvest duty cycle per implant.
+//
+// Observability flags (ISSUE 8):
+//   --trace-out <file.json>   write the fault-night run's sim-time trace as
+//                             Chrome/Perfetto trace-event JSON (open in
+//                             ui.perfetto.dev: AP reboot + microwave burst
+//                             appear as fault spans above the poll tracks)
+//   --metrics-out <file>      write the fault-night metrics snapshot
+//                             (Prometheus text if the name ends in .prom,
+//                             JSON otherwise)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "obs/capture.h"
+#include "obs/prof.h"
 #include "sim/network.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace itb;
+
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+  // Wall-clock profiling of the demo itself (the ONE sanctioned wall-clock
+  // domain); sim results and exports never see these readings.
+  obs::prof_enable(true);
 
   std::printf(
       "# hospital ward: FDMA x TDMA interscatter fleet "
@@ -116,7 +144,9 @@ int main() {
   resilient.ap_failover = true;
 
   const sim::NetworkStats bare = sim::NetworkCoordinator(ward).run();
-  const sim::NetworkStats safe = sim::NetworkCoordinator(resilient).run();
+  obs::RunCapture capture;
+  const sim::NetworkStats safe =
+      sim::NetworkCoordinator(resilient).run(&capture);
 
   std::printf("%-28s %14s %14s\n", "metric", "bare_tdma", "arq+fallback");
   const auto row = [](const char* name, double b, double s,
@@ -142,5 +172,33 @@ int main() {
       safe.recovery_time.max_us / 1e3);
   row("energy (nJ/delivered byte)", bare.energy_per_delivered_byte_nj,
       safe.energy_per_delivered_byte_nj);
+
+  // --- observability exports (fault-night resilient run) ----------------
+  std::printf("\n# obs: %zu trace events (%llu dropped), metrics digest %016llx\n",
+              capture.trace.size(),
+              static_cast<unsigned long long>(capture.trace.dropped()),
+              static_cast<unsigned long long>(capture.metrics.digest()));
+  if (trace_out != nullptr) {
+    std::ofstream f(trace_out);
+    capture.trace.write_perfetto_json(f);
+    std::printf("# obs: wrote Perfetto trace to %s (open in ui.perfetto.dev)\n",
+                trace_out);
+  }
+  if (metrics_out != nullptr) {
+    std::ofstream f(metrics_out);
+    const std::string name = metrics_out;
+    if (name.size() >= 5 && name.rfind(".prom") == name.size() - 5) {
+      capture.metrics.write_prometheus(f);
+    } else {
+      capture.metrics.write_json(f);
+    }
+    std::printf("# obs: wrote metrics snapshot to %s\n", metrics_out);
+  }
+
+  // Wall-clock attribution of the demo: how much of sim.run's time the
+  // named child zones account for.
+  std::ostringstream prof;
+  obs::prof_write_table(prof, "sim.run");
+  std::fputs(prof.str().c_str(), stdout);
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "dsp/rng.h"
 #include "dsp/units.h"
+#include "obs/prof.h"
 
 namespace itb::channel {
 
@@ -61,6 +62,8 @@ ImpairmentChain::ImpairmentChain(const ImpairmentConfig& cfg) : cfg_(cfg) {}
 
 CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
                                     std::uint64_t stream) const {
+  static const std::size_t kZone = obs::prof_zone("phy.impair_channel");
+  const obs::ProfZone prof(kZone);
   CVec y = x;
 
   // --- 1. multipath convolution -------------------------------------------
@@ -138,6 +141,8 @@ CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
 }
 
 CVec ImpairmentChain::apply_frontend(const CVec& x) const {
+  static const std::size_t kZone = obs::prof_zone("phy.impair_frontend");
+  const obs::ProfZone prof(kZone);
   if (cfg_.adc_bits == 0 || x.empty()) return x;
   const Real rms = itb::dsp::rms(x);
   if (rms <= 0.0) return x;

@@ -5,6 +5,7 @@
 #include "ble/channel_map.h"
 #include "ble/gfsk.h"
 #include "dsp/units.h"
+#include "obs/prof.h"
 
 namespace itb::core {
 
@@ -49,6 +50,8 @@ UplinkBudget InterscatterSystem::budget(std::size_t psdu_bytes) const {
 
 UplinkDecodeResult InterscatterSystem::simulate_frame(
     const itb::phy::Bytes& psdu) const {
+  static const std::size_t kZone = obs::prof_zone("phy.simulate_frame");
+  const obs::ProfZone prof(kZone);
   UplinkDecodeResult out;
 
   // --- Tag synthesis at 143 Msps relative to the BLE tone ------------------

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prof.h"
+
 namespace itb::core {
 
 /// Runs fn(i) for every i in [0, count) across `num_threads` std::threads
@@ -21,6 +23,8 @@ namespace itb::core {
 template <typename Fn>
 void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
   if (count == 0) return;
+  static const std::size_t kZone = obs::prof_zone("core.parallel_for");
+  obs::ProfZone prof(kZone);
   std::size_t workers = num_threads != 0 ? num_threads
                                          : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;

@@ -6,6 +6,7 @@
 
 #include "dsp/fir.h"
 #include "dsp/ola.h"
+#include "obs/prof.h"
 
 namespace itb::dsp {
 
@@ -55,6 +56,8 @@ CVec cross_correlate_direct(std::span<const Complex> x,
 
 CVec cross_correlate_fft(std::span<const Complex> x,
                          std::span<const Complex> pattern) {
+  static const std::size_t kZone = obs::prof_zone("phy.correlate_fft");
+  const obs::ProfZone prof(kZone);
   if (x.size() < pattern.size() || pattern.empty()) return {};
   const std::size_t np = pattern.size();
   // corr[i] = sum_k x[i+k] conj(p[k]) is the full linear convolution of x

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "dsp/fft.h"
+#include "obs/prof.h"
 
 namespace itb::dsp {
 
@@ -39,6 +40,8 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 
 template <bool kInverse>
 void FftPlan::run(std::span<Complex> x) const {
+  static const std::size_t kZone = obs::prof_zone("phy.fft");
+  const obs::ProfZone prof(kZone);
   // Validated in all build modes for the same reason as fft_inplace: a
   // size-mismatched span would silently corrupt memory in release builds.
   if (x.size() != n_) {

@@ -4,6 +4,7 @@
 
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
+#include "obs/prof.h"
 
 namespace itb::dsp {
 
@@ -18,6 +19,8 @@ std::size_t overlap_save_block_size(std::size_t nh, std::size_t ny) {
 }
 
 CVec overlap_save_convolve(std::span<const Complex> x, std::span<const Complex> h) {
+  static const std::size_t kZone = obs::prof_zone("phy.overlap_save");
+  const obs::ProfZone prof(kZone);
   const std::size_t nx = x.size();
   const std::size_t nh = h.size();
   if (nx == 0 || nh == 0) return {};

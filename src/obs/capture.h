@@ -1,0 +1,33 @@
+// RunCapture: the opt-in observation bundle a caller hands to
+// Network::run(). Null pointer (the default) means zero observation work
+// beyond a branch per hook — the path every existing caller and benchmark
+// takes. Non-null turns on sim-time tracing and the metrics registry; both
+// outputs are deterministic (bit-identical at any thread count) because
+// they are collected per shard and merged in shard-index order.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace itb::obs {
+
+struct RunCapture {
+  /// Collect sim-time trace events (poll slots, ARQ attempts, fault
+  /// windows, rate-fallback decisions). Metrics are always collected when a
+  /// RunCapture is attached; tracing is the heavier half and gets its own
+  /// switch.
+  bool collect_trace = true;
+
+  /// Per-shard trace ring capacity (oldest-drop beyond this; drops are
+  /// counted in `trace.dropped()` and surfaced as `itb.trace.dropped`).
+  std::size_t trace_events_per_shard = 1 << 16;
+
+  /// Outputs, filled by run(): trace is finalized (merged + sorted), the
+  /// metrics snapshot is merged across shards.
+  TraceLog trace;
+  MetricsSnapshot metrics;
+};
+
+}  // namespace itb::obs

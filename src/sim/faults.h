@@ -46,6 +46,16 @@ enum class FaultKind : std::uint8_t {
   kSnrSlump = 3,
 };
 
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kApOutage: return "ap_outage";
+    case FaultKind::kInterference: return "interference";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kSnrSlump: return "snr_slump";
+  }
+  return "?";
+}
+
 struct FaultEvent {
   FaultKind kind = FaultKind::kSnrSlump;
   std::uint32_t entity = 0;

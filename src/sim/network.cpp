@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "ble/channel_map.h"
 #include "channel/awgn.h"
 #include "core/interscatter.h"
 #include "core/parallel.h"
 #include "dsp/units.h"
+#include "obs/capture.h"
+#include "obs/prof.h"
 #include "sim/event_queue.h"
 
 namespace itb::sim {
@@ -67,9 +70,51 @@ Real waveform_per_at(mac::LinkWaveform w, Real snr_db,
   return itb::channel::per_802154(snr_db, wire_bytes);
 }
 
+/// One shard's bounded PollRecord buffer: beyond trace_capacity the oldest
+/// record is overwritten. Per-shard rings plus a global oldest-trim after
+/// the merge keep the kept window identical at any thread count.
+struct PollRing {
+  std::vector<PollRecord> ring;
+  std::size_t head = 0;        ///< oldest record once the ring is full
+  std::uint64_t emitted = 0;
+
+  void push(const PollRecord& r, std::size_t capacity) {
+    ++emitted;
+    if (capacity == 0 || ring.size() < capacity) {
+      ring.push_back(r);
+      return;
+    }
+    ring[head] = r;
+    head = (head + 1) % capacity;
+  }
+};
+
+/// Metric ids for the sim-domain registry (registered once per run()).
+struct SimMetricIds {
+  obs::MetricId polls = 0;
+  obs::MetricId replies = 0;
+  obs::MetricId downlink_misses = 0;
+  obs::MetricId reservation_denied = 0;
+  obs::MetricId collisions = 0;
+  obs::MetricId decode_failures = 0;
+  obs::MetricId retries = 0;
+  obs::MetricId backoff = 0;
+  obs::MetricId delivered = 0;
+  obs::MetricId dropped = 0;
+  obs::MetricId downshifts = 0;
+  obs::MetricId upshifts = 0;
+  obs::MetricId brownouts = 0;
+  obs::MetricId outages = 0;
+  obs::MetricId failovers = 0;
+  obs::MetricId link_down = 0;
+  obs::MetricId latency = 0;
+};
+
 }  // namespace
 
 NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
+  static const std::size_t kZoneBuild = obs::prof_zone("sim.topology_build");
+  const obs::ProfZone prof_build(kZoneBuild);
   if (cfg_.wifi_channels.empty()) {
     throw std::invalid_argument("NetworkConfig: no Wi-Fi channels");
   }
@@ -290,7 +335,9 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
   }
 }
 
-NetworkStats NetworkCoordinator::run() const {
+NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
+  static const std::size_t kZoneRun = obs::prof_zone("sim.run");
+  const obs::ProfZone prof_run(kZoneRun);
   const std::size_t n = placement_.tags.size();
   const std::size_t num_groups = group_tags_.size();
   const double slot_us = mac::poll_slot_us(cfg_.polling);
@@ -348,10 +395,52 @@ NetworkStats NetworkCoordinator::run() const {
   std::vector<LatencyHistogram> shard_latency(shards.size());
   std::vector<LatencyHistogram> shard_recovery(shards.size());
   std::vector<RetryHistogram> shard_retries(shards.size());
-  std::vector<std::vector<PollRecord>> shard_trace(shards.size());
+  std::vector<PollRing> shard_trace(shards.size());
+
+  // Observation state: the registry is the schema (built single-threaded,
+  // before the fan-out), each shard gets its own cell block and trace ring,
+  // and everything merges in shard-index order after the join — the same
+  // reduction discipline the stats follow, so the snapshot/trace inherit
+  // the digest contract. Null capture skips all of it.
+  obs::MetricsRegistry registry;
+  SimMetricIds mid{};
+  std::vector<obs::MetricCells> shard_cells;
+  std::vector<obs::TraceBuffer> shard_tbuf;
+  if (capture != nullptr) {
+    mid.polls = registry.counter("itb.sim.polls_total");
+    mid.replies = registry.counter("itb.sim.replies_total");
+    mid.downlink_misses = registry.counter("itb.sim.downlink_misses");
+    mid.reservation_denied = registry.counter("itb.sim.reservation_denied");
+    mid.collisions = registry.counter("itb.sim.collisions");
+    mid.decode_failures = registry.counter("itb.sim.decode_failures");
+    mid.retries = registry.counter("itb.arq.retries");
+    mid.backoff = registry.counter("itb.arq.backoff_slots");
+    mid.delivered = registry.counter("itb.arq.messages_delivered");
+    mid.dropped = registry.counter("itb.arq.messages_dropped");
+    mid.downshifts = registry.counter("itb.rate.downshifts");
+    mid.upshifts = registry.counter("itb.rate.upshifts");
+    mid.brownouts = registry.counter("itb.faults.brownout_skips");
+    mid.outages = registry.counter("itb.faults.outage_skips");
+    mid.failovers = registry.counter("itb.faults.failover_polls");
+    mid.link_down = registry.counter("itb.faults.link_down_polls");
+    mid.latency = registry.histogram("itb.sim.poll_latency_us",
+                                     {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+    shard_cells.reserve(shards.size());
+    for (std::size_t si = 0; si < shards.size(); ++si) {
+      shard_cells.push_back(registry.make_cells());
+    }
+    if (capture->collect_trace) {
+      shard_tbuf.reserve(shards.size());
+      for (std::size_t si = 0; si < shards.size(); ++si) {
+        shard_tbuf.emplace_back(capture->trace_events_per_shard);
+      }
+    }
+  }
 
   itb::core::parallel_for(
       shards.size(), cfg_.num_threads, [&](std::size_t si) {
+        static const std::size_t kZoneLoop = obs::prof_zone("sim.event_loop");
+        const obs::ProfZone prof_loop(kZoneLoop);
         const Shard& sh = shards[si];
         const std::size_t g = sh.group;
         const mac::ReservationOutcome& oc = outcome[g];
@@ -362,7 +451,17 @@ NetworkStats NetworkCoordinator::run() const {
         LatencyHistogram& latency = shard_latency[si];
         LatencyHistogram& recovery = shard_recovery[si];
         RetryHistogram& retries = shard_retries[si];
-        std::vector<PollRecord>& trace = shard_trace[si];
+        PollRing& ring = shard_trace[si];
+        obs::MetricCells* const cells =
+            capture != nullptr ? &shard_cells[si] : nullptr;
+        obs::TraceBuffer* const tbuf =
+            capture != nullptr && capture->collect_trace ? &shard_tbuf[si]
+                                                         : nullptr;
+        // Logical Perfetto tracks: one "process" per FDMA group, one
+        // "thread" per shard — functions of the topology, never of how
+        // shards were scheduled onto OS threads.
+        const auto pid = static_cast<std::uint32_t>(g + 1);
+        const auto tid = static_cast<std::uint32_t>(si + 1);
 
         EventQueue queue;
         // Schedule every poll this shard owns: tag at TDMA slot s, round r
@@ -393,9 +492,36 @@ NetworkStats NetworkCoordinator::run() const {
                                       std::uint64_t round, PollOutcome out,
                                       mac::LinkWaveform wf, std::uint32_t ap,
                                       bool retx) {
-          if (!cfg_.keep_trace) return;
-          trace.push_back({t_us, tag, static_cast<std::uint32_t>(round), out,
-                           static_cast<std::uint8_t>(wf), ap, retx});
+          if (cfg_.keep_trace) {
+            ring.push({t_us, tag, static_cast<std::uint32_t>(round), out,
+                       static_cast<std::uint8_t>(wf), ap, retx},
+                      cfg_.trace_capacity);
+          }
+          if (tbuf != nullptr) {
+            // Outcomes that put energy on the air are spans (dur = attempt
+            // airtime on the active rung); skipped/silent slots are
+            // instants.
+            obs::TraceEvent e;
+            e.name = poll_outcome_name(out);
+            e.cat = "poll";
+            e.pid = pid;
+            e.tid = tid;
+            e.ts_us = static_cast<std::int64_t>(t_us);
+            const bool on_air = out == PollOutcome::kDelivered ||
+                                out == PollOutcome::kCollision ||
+                                out == PollOutcome::kDecodeFailure;
+            if (on_air) {
+              e.phase = obs::TracePhase::kSpan;
+              e.dur_us = static_cast<std::int64_t>(
+                  attempt_airtime_us[static_cast<std::size_t>(wf)]);
+            }
+            e.arg_name = "round";
+            e.arg = round;
+            e.sarg_name = "waveform";
+            e.sarg = mac::waveform_name(wf);
+            tbuf->push(e);
+            if (retx) tbuf->instant("arq.retx", "arq", pid, tid, e.ts_us);
+          }
         };
         // A skipped or failed poll opens a disruption window; the next
         // delivered attempt closes it and records the recovery time.
@@ -410,6 +536,7 @@ NetworkStats NetworkCoordinator::run() const {
         const auto resolve_attempt = [&](TagStats& ts, ArqProgress& st,
                                          PollOutcome out, double t_us) {
           const bool delivered = out == PollOutcome::kDelivered;
+          const mac::LinkWaveform prev_wf = st.fallback.current();
           // Only SNR-driven outcomes move the fallback ladder: a busy
           // channel (reservation denied) or an unheard query says nothing
           // about the reply waveform, and dropping the rate would only
@@ -419,6 +546,17 @@ NetworkStats NetworkCoordinator::run() const {
           } else if (out == PollOutcome::kCollision ||
                      out == PollOutcome::kDecodeFailure) {
             st.fallback.on_failure();
+          }
+          if (tbuf != nullptr && st.fallback.current() != prev_wf) {
+            obs::TraceEvent e;
+            e.name = delivered ? "rate.upshift" : "rate.downshift";
+            e.cat = "rate";
+            e.pid = pid;
+            e.tid = tid;
+            e.ts_us = static_cast<std::int64_t>(t_us);
+            e.sarg_name = "waveform";
+            e.sarg = mac::waveform_name(st.fallback.current());
+            tbuf->push(e);
           }
           if (delivered) {
             st.fail_streak = 0;
@@ -626,6 +764,9 @@ NetworkStats NetworkCoordinator::run() const {
                        serving_ap, retx);
           const double done_us = ev.time_us + attempt_airtime_us[wi];
           latency.record(done_us - pending_since[shard_slot]);
+          if (cells != nullptr) {
+            cells->observe(mid.latency, done_us - pending_since[shard_slot]);
+          }
           pending_since[shard_slot] =
               static_cast<double>(round + 1) * round_us[g];
           resolve_attempt(ts, st, PollOutcome::kDelivered, done_us);
@@ -654,10 +795,32 @@ NetworkStats NetworkCoordinator::run() const {
               (cfg_.polling.advertising_interval_ms * 1e3);
           ts.harvest_us = adv_events * 3.0 * kAdvPacketUs +
                           static_cast<double>(ts.queries) * query_us;
+          // Metrics flush: counters derive from the TagStats this shard
+          // just finished writing, so the hot loop pays nothing for them.
+          if (cells != nullptr) {
+            cells->add(mid.polls, ts.queries);
+            cells->add(mid.replies, ts.replies);
+            cells->add(mid.downlink_misses, ts.downlink_misses);
+            cells->add(mid.reservation_denied, ts.reservation_denied);
+            cells->add(mid.collisions, ts.collisions);
+            cells->add(mid.decode_failures, ts.decode_failures);
+            cells->add(mid.retries, ts.retransmissions);
+            cells->add(mid.backoff, ts.backoff_skips);
+            cells->add(mid.delivered, ts.messages_delivered);
+            cells->add(mid.dropped, ts.messages_dropped);
+            cells->add(mid.downshifts, ts.rate_downshifts);
+            cells->add(mid.upshifts, ts.rate_upshifts);
+            cells->add(mid.brownouts, ts.brownout_skips);
+            cells->add(mid.outages, ts.outage_skips);
+            cells->add(mid.failovers, ts.failover_polls);
+            cells->add(mid.link_down, ts.link_down_polls);
+          }
         }
       });
 
   // --- sequential, index-ordered reduction (thread-count invariant) --------
+  static const std::size_t kZoneMerge = obs::prof_zone("sim.merge");
+  const obs::ProfZone prof_merge(kZoneMerge);
   NetworkStats out;
   out.num_tags = n;
   out.num_channels = num_groups;
@@ -670,8 +833,12 @@ NetworkStats NetworkCoordinator::run() const {
   for (const LatencyHistogram& h : shard_recovery) out.recovery_time.merge(h);
   for (const RetryHistogram& h : shard_retries) out.retry_histogram.merge(h);
   if (cfg_.keep_trace) {
-    for (std::vector<PollRecord>& t : shard_trace) {
-      out.trace.insert(out.trace.end(), t.begin(), t.end());
+    std::uint64_t emitted = 0;
+    for (const PollRing& r : shard_trace) {
+      emitted += r.emitted;
+      for (std::size_t i = 0; i < r.ring.size(); ++i) {
+        out.trace.push_back(r.ring[(r.head + i) % r.ring.size()]);
+      }
     }
     // Shard order is per-group slot order; re-sort into one global
     // timeline. (time, tag, round) is a total order over poll records.
@@ -681,6 +848,16 @@ NetworkStats NetworkCoordinator::run() const {
                 if (a.tag != b.tag) return a.tag < b.tag;
                 return a.round < b.round;
               });
+    // Per-shard rings bound memory during the run; this global trim makes
+    // the kept window a pure function of the config (the same newest
+    // trace_capacity records at any thread count).
+    if (cfg_.trace_capacity > 0 && out.trace.size() > cfg_.trace_capacity) {
+      out.trace.erase(out.trace.begin(),
+                      out.trace.begin() +
+                          static_cast<std::ptrdiff_t>(out.trace.size() -
+                                                      cfg_.trace_capacity));
+    }
+    out.trace_dropped = emitted - out.trace.size();
   }
 
   double total_bits = 0.0;
@@ -747,6 +924,56 @@ NetworkStats NetworkCoordinator::run() const {
     out.mean_tag_power_uw = sum_power_uw / dn;
   }
   if (cfg_.keep_per_tag) out.per_tag = std::move(tag_stats);
+
+  if (capture != nullptr) {
+    if (capture->collect_trace) {
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        capture->trace.set_process_name(
+            static_cast<std::uint32_t>(g + 1),
+            "wifi-ch" + std::to_string(cfg_.wifi_channels[g]));
+      }
+      for (std::size_t si = 0; si < shards.size(); ++si) {
+        capture->trace.set_thread_name(
+            static_cast<std::uint32_t>(shards[si].group + 1),
+            static_cast<std::uint32_t>(si + 1),
+            "shard " + std::to_string(si) + " slots[" +
+                std::to_string(shards[si].begin) + "," +
+                std::to_string(shards[si].end) + ")");
+      }
+      // Fault windows get their own process so an AP reboot or microwave
+      // burst reads as a span directly above the polls it disrupts.
+      if (!cfg_.faults.empty()) {
+        const auto fault_pid = static_cast<std::uint32_t>(num_groups + 1);
+        capture->trace.set_process_name(fault_pid, "faults");
+        capture->trace.set_thread_name(fault_pid, 1, "timeline");
+        for (const FaultEvent& fe : cfg_.faults.events) {
+          obs::TraceEvent e;
+          e.name = fault_kind_name(fe.kind);
+          e.cat = "fault";
+          e.phase = obs::TracePhase::kSpan;
+          e.pid = fault_pid;
+          e.tid = 1;
+          e.ts_us = static_cast<std::int64_t>(fe.start_us);
+          e.dur_us = static_cast<std::int64_t>(fe.duration_us);
+          e.arg_name = "entity";
+          e.arg = fe.entity;
+          capture->trace.push(e);
+        }
+      }
+      for (const obs::TraceBuffer& b : shard_tbuf) capture->trace.absorb(b);
+      capture->trace.finalize();
+    }
+    capture->metrics = registry.merge(shard_cells);
+    capture->metrics.append_counter("itb.sim.trace_records_dropped",
+                                    out.trace_dropped);
+    capture->metrics.append_counter("itb.trace.events_dropped",
+                                    capture->trace.dropped());
+    capture->metrics.append_gauge("itb.sim.elapsed_us", out.elapsed_us);
+    capture->metrics.append_gauge("itb.sim.goodput_kbps",
+                                  out.aggregate_goodput_kbps);
+    capture->metrics.append_gauge("itb.sim.delivery_ratio",
+                                  out.delivery_ratio);
+  }
   return out;
 }
 

@@ -69,6 +69,10 @@
 #include "sim/topology.h"
 #include "wifi/rates.h"
 
+namespace itb::obs {
+struct RunCapture;
+}  // namespace itb::obs
+
 namespace itb::sim {
 
 struct NetworkConfig {
@@ -122,6 +126,12 @@ struct NetworkConfig {
   /// Collect a per-poll PollRecord trace (golden fault-timeline tests,
   /// demos). Costs memory; excluded from digest().
   bool keep_trace = false;
+  /// Upper bound on the kept PollRecord trace (0 = unbounded). When the
+  /// run emits more records, the *oldest* are dropped and counted in
+  /// NetworkStats::trace_dropped — a long fault night degrades to "the
+  /// most recent window" instead of unbounded memory. Never affects
+  /// digest().
+  std::size_t trace_capacity = 0;
   // --- execution -------------------------------------------------------
   std::uint64_t seed = 1;
   /// Worker threads for the shard fan-out; 0 = all hardware threads.
@@ -179,7 +189,13 @@ class NetworkCoordinator {
 
   /// Runs the full FDMA x TDMA simulation. Bit-identical for a fixed config
   /// at any num_threads.
-  NetworkStats run() const;
+  ///
+  /// `capture` (optional) attaches the obs layer: sim-time trace events
+  /// and a metrics snapshot, both collected per shard and merged in
+  /// shard-index order, so they inherit the same thread-count-invariance
+  /// as the stats themselves (tests/obs_test.cpp). Null = no observation
+  /// work beyond one branch per hook.
+  NetworkStats run(obs::RunCapture* capture = nullptr) const;
 
   /// Re-simulates `links` deterministically-sampled tag links through the
   /// waveform pipeline (core::InterscatterSystem) and compares the decode

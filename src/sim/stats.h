@@ -175,6 +175,10 @@ struct NetworkStats {
   std::vector<ChannelStats> channels;
   std::vector<TagStats> per_tag;  ///< empty when NetworkConfig::keep_per_tag off
   std::vector<PollRecord> trace;  ///< only when NetworkConfig::keep_trace
+  /// PollRecords dropped (oldest-first) to honor NetworkConfig::
+  /// trace_capacity. Like the trace itself, excluded from digest(): the
+  /// trace knobs must never change the result identity.
+  std::uint64_t trace_dropped = 0;
 
   /// FNV-1a hash over every field except the trace (doubles by bit
   /// pattern, vectors in index order). Two runs are bit-identical iff

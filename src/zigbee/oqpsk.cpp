@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dsp/fir.h"
+#include "obs/prof.h"
 #include "phycommon/bits.h"
 
 namespace itb::zigbee {
@@ -130,6 +131,8 @@ CVec OqpskDemodulator::soft_chips(const CVec& samples,
 
 Bytes OqpskDemodulator::soft_chips_to_bytes(const CVec& soft,
                                             std::size_t block_chips) const {
+  static const std::size_t kZone = obs::prof_zone("phy.soft_despread");
+  const obs::ProfZone prof(kZone);
   if (block_chips == 0) block_chips = kChipsPerSymbol;
   // Complex PN patterns: chip bit -> +-1 on the I axis (even chips) or the
   // Q axis (odd chips).

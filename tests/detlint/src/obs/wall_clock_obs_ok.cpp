@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads under src/obs/ are exempt — this is the
+// sanctioned ProfZone timing site, so the wall-clock rule must stay silent
+// here without per-line allow() comments.
+#include <chrono>
+
+long obs_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

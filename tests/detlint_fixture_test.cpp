@@ -126,4 +126,15 @@ TEST(DetlintFixtures, BenchPathsAreExemptFromWallClock) {
   EXPECT_EQ(detlint::lint_source("src/timer.cpp", src).size(), 1u);
 }
 
+TEST(DetlintFixtures, ObsPathsAreExemptFromWallClock) {
+  // src/obs/ is the ProfZone wall-clock carve-out; the exemption is scoped
+  // to that directory, not to every path containing "obs".
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(detlint::lint_source("src/obs/prof.cpp", src).empty());
+  EXPECT_TRUE(
+      detlint::lint_source("/root/repo/src/obs/timer.cpp", src).empty());
+  EXPECT_EQ(detlint::lint_source("src/observer.cpp", src).size(), 1u);
+  EXPECT_EQ(detlint::lint_source("src/sim/obs_like.cpp", src).size(), 1u);
+}
+
 }  // namespace

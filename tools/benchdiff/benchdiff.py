@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON export against a checked-in baseline.
+
+Both files follow the bench/*.cpp --json shape:
+
+    {"benchmarks": [{"name": "BM_NetScale/100/threads:1",
+                     "tags_per_second": 747160.8, ...}, ...]}
+
+Entries are matched by "name"; for each match the chosen metric (default
+tags_per_second, higher is better) is compared and a regression beyond
+--threshold-pct fails the run. Names present on only one side are reported
+but never fail: the baseline is a floor for shared points, not a schema.
+
+Digest fields, when present on both sides, are compared too. They drift
+legitimately whenever a PR extends NetworkStats (the digest covers every
+field), so a mismatch is a warning by default; pass --require-digest to turn
+it into a failure when comparing two runs of the *same* build, where any
+drift is a determinism break.
+
+Exit codes: 0 ok, 1 regression (or digest mismatch with --require-digest),
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"benchdiff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    marks = doc.get("benchmarks")
+    if not isinstance(marks, list):
+        print(f"benchdiff: {path} has no 'benchmarks' list", file=sys.stderr)
+        sys.exit(2)
+    return {b["name"]: b for b in marks if "name" in b}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("fresh", help="freshly measured JSON")
+    ap.add_argument("--metric", default="tags_per_second",
+                    help="per-entry metric to compare (default: "
+                         "tags_per_second, higher is better)")
+    ap.add_argument("--threshold-pct", type=float, default=25.0,
+                    help="fail when the metric drops more than this percent "
+                         "below baseline (default: 25)")
+    ap.add_argument("--require-digest", action="store_true",
+                    help="treat digest mismatches as failures (same-build "
+                         "comparisons only; across code versions digests "
+                         "drift whenever the stats schema grows)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        print("benchdiff: no benchmark names in common", file=sys.stderr)
+        sys.exit(2)
+
+    failed = False
+    print(f"{'benchmark':<32} {'baseline':>14} {'fresh':>14} {'delta%':>8}")
+    for name in shared:
+        b, f = base[name], fresh[name]
+        if args.metric not in b or args.metric not in f:
+            print(f"{name:<32} {'-':>14} {'-':>14} {'n/a':>8}  "
+                  f"(missing {args.metric})")
+            continue
+        bv, fv = float(b[args.metric]), float(f[args.metric])
+        delta = (fv - bv) / bv * 100.0 if bv != 0.0 else 0.0
+        verdict = ""
+        if delta < -args.threshold_pct:
+            verdict = f"  REGRESSION (>{args.threshold_pct:g}% below baseline)"
+            failed = True
+        if "digest" in b and "digest" in f and b["digest"] != f["digest"]:
+            verdict += f"  digest {b['digest']} -> {f['digest']}"
+            if args.require_digest:
+                verdict += " (determinism break)"
+                failed = True
+        print(f"{name:<32} {bv:>14.1f} {fv:>14.1f} {delta:>+7.1f}%{verdict}")
+
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name:<32} (baseline only, skipped)")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<32} (fresh only, no baseline)")
+
+    if failed:
+        print("benchdiff: FAIL", file=sys.stderr)
+        sys.exit(1)
+    print("benchdiff: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -231,6 +231,7 @@ struct Ctx {
   const std::map<int, std::set<std::string>>* allow;
   std::vector<Finding>* findings;
   bool in_bench = false;
+  bool in_obs = false;
 
   void report(std::size_t tok_index, const std::string& rule,
               const std::string& message) {
@@ -247,6 +248,11 @@ struct Ctx {
 
 void rule_wall_clock(Ctx& ctx) {
   if (ctx.in_bench) return;  // timing benches legitimately read clocks
+  // src/obs/ is the sanctioned wall-clock site in the library: ProfZone
+  // timings live strictly in the wall-clock domain (never feed results or
+  // digests), and concentrating the carve-out in one directory keeps the
+  // rest of src/ under the rule.
+  if (ctx.in_obs) return;
   const Tokens& t = *ctx.tokens;
   static const std::set<std::string> kClockTypes = {
       "steady_clock", "system_clock", "high_resolution_clock", "utc_clock",
@@ -266,8 +272,8 @@ void rule_wall_clock(Ctx& ctx) {
     if (kClockTypes.count(s)) {
       ctx.report(i, "wall-clock",
                  "wall-clock source `" + s +
-                     "` outside bench/; simulated time must come from the "
-                     "event queue");
+                     "` outside bench/ or src/obs/; simulated time must "
+                     "come from the event queue");
       continue;
     }
     if (kBannedCalls.count(s) && is(t, i + 1, "(")) {
@@ -288,7 +294,8 @@ void rule_wall_clock(Ctx& ctx) {
         continue;
       ctx.report(i, "wall-clock",
                  "call to `" + s +
-                     "` outside bench/ (wall-clock / libc entropy source)");
+                     "` outside bench/ or src/obs/ (wall-clock / libc "
+                     "entropy source)");
     }
   }
 }
@@ -733,6 +740,10 @@ bool path_in_bench(const std::string& path) {
          path.rfind("bench/", 0) == 0;
 }
 
+bool path_in_obs(const std::string& path) {
+  return path.find("src/obs/") != std::string::npos;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
@@ -752,6 +763,7 @@ std::vector<Finding> lint_source(const std::string& path,
   ctx.allow = &lexed.allow;
   ctx.findings = &findings;
   ctx.in_bench = path_in_bench(path);
+  ctx.in_obs = path_in_obs(path);
   rule_wall_clock(ctx);
   rule_rng_seed(ctx);
   rule_unordered_iter(ctx);
