@@ -4,23 +4,37 @@
 // baseline lives in bench/baselines/seed_net_scale.json.
 //
 // Usage:
-//   net_scale            full sweep, human-readable table
-//   net_scale --quick    one small repetition (CI smoke: seconds, not minutes)
+//   net_scale            full sweep (to 1M tags), human-readable table
+//   net_scale --quick    small sweep to 100k, one rep (CI smoke: seconds)
 //   net_scale --json     machine-readable JSON records instead of the table
 //   net_scale --prof     enable ProfZone wall-clock timing; prints the
 //                        self/total zone table after the sweep
+//   net_scale --trace-out <file.json>  rerun the largest point with trace
+//                        capture and write Perfetto trace-event JSON
+//   net_scale --metrics-out <file>     write that run's metrics snapshot
+//                        (Prometheus text if the name ends in .prom)
+//
+// Points at and above 100k tags run with keep_per_tag=false: the streaming
+// per-shard stats path, whose memory is O(shards), not O(tags). The three
+// historical points (100/1000/5000) keep per-tag records so their digests
+// stay comparable across the trajectory.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/capture.h"
 #include "obs/prof.h"
 #include "sim/network.h"
 
 namespace {
+
+/// Fleets at or past this size use the streaming stats path.
+constexpr std::size_t kStreamingThreshold = 100000;
 
 struct Point {
   std::size_t tags;
@@ -33,8 +47,8 @@ struct Point {
   unsigned long long digest;
 };
 
-Point measure(std::size_t tags, std::size_t rounds, std::size_t threads,
-              std::size_t reps) {
+itb::sim::NetworkConfig make_config(std::size_t tags, std::size_t rounds,
+                                    std::size_t threads) {
   using namespace itb;
   sim::NetworkConfig cfg;
   cfg.topology.kind = sim::TopologyKind::kHospitalWard;
@@ -46,7 +60,16 @@ Point measure(std::size_t tags, std::size_t rounds, std::size_t threads,
   cfg.rounds = rounds;
   cfg.seed = 2026;
   cfg.num_threads = threads;
-  cfg.keep_per_tag = true;  // digest covers per-tag state
+  // digest covers per-tag state for the historical points; the big fleets
+  // exercise the streaming aggregation instead.
+  cfg.keep_per_tag = tags < kStreamingThreshold;
+  return cfg;
+}
+
+Point measure(std::size_t tags, std::size_t rounds, std::size_t threads,
+              std::size_t reps) {
+  using namespace itb;
+  const sim::NetworkConfig cfg = make_config(tags, rounds, threads);
 
   const auto b0 = std::chrono::steady_clock::now();
   const sim::NetworkCoordinator net(cfg);
@@ -82,28 +105,65 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   bool prof = false;
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--prof") == 0) prof = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
   }
   itb::obs::prof_enable(prof);
 
   const std::size_t reps = quick ? 1 : 5;
   std::vector<std::pair<std::size_t, std::size_t>> sweep;  // (tags, threads)
   if (quick) {
-    // Same points (by name) as the seed baseline, one rep each, so
-    // tools/benchdiff can compare CI smoke output against
-    // bench/baselines/seed_net_scale.json.
-    sweep = {{100, 1}, {1000, 1}, {5000, 1}};
+    // First three points match the seed baseline (by name), one rep each,
+    // so tools/benchdiff can compare CI smoke output against
+    // bench/baselines/seed_net_scale.json; 100k smokes the streaming path
+    // and gates the spatial-hash build time.
+    sweep = {{100, 1}, {1000, 1}, {5000, 1}, {100000, 1}};
   } else {
-    sweep = {{100, 1}, {1000, 1}, {5000, 1}, {5000, 0 /* all hw threads */}};
+    sweep = {{100, 1},     {1000, 1},      {5000, 1}, {5000, 0 /* all hw */},
+             {100000, 1},  {100000, 0},    {1000000, 0}};
   }
 
   std::vector<Point> points;
   points.reserve(sweep.size());
   for (const auto& [tags, threads] : sweep) {
     points.push_back(measure(tags, /*rounds=*/8, threads, reps));
+  }
+
+  // Optional observability artifacts: rerun the largest point once with
+  // capture enabled (timings above stay capture-free). The per-shard trace
+  // ring is kept small — the artifact shows the schedule's shape, not every
+  // poll of a 100k fleet.
+  if (trace_out != nullptr || metrics_out != nullptr) {
+    using namespace itb;
+    const auto& [tags, threads] = sweep.back();
+    const sim::NetworkConfig cfg = make_config(tags, /*rounds=*/8, threads);
+    obs::RunCapture capture;
+    capture.collect_trace = trace_out != nullptr;
+    capture.trace_events_per_shard = 128;
+    (void)sim::NetworkCoordinator(cfg).run(&capture);
+    if (trace_out != nullptr) {
+      std::ofstream f(trace_out);
+      capture.trace.write_perfetto_json(f);
+    }
+    if (metrics_out != nullptr) {
+      std::ofstream f(metrics_out);
+      const std::string name = metrics_out;
+      if (name.size() >= 5 && name.rfind(".prom") == name.size() - 5) {
+        capture.metrics.write_prometheus(f);
+      } else {
+        capture.metrics.write_json(f);
+      }
+    }
   }
 
   if (json) {
@@ -125,8 +185,8 @@ int main(int argc, char** argv) {
 
   itb::bench::header("net_scale",
                      "network simulator scale: tags simulated per second",
-                     "budget-fidelity fleet sim must stay interactive to 5k "
-                     "tags (acceptance: 1000 tags < 10 s single-threaded)");
+                     "budget-fidelity fleet sim must stay interactive to 1M "
+                     "tags (build ~linear in tags via the spatial-hash grid)");
   std::printf("%8s %8s %8s %10s %10s %14s %14s  %s\n", "tags", "rounds",
               "threads", "build_ms", "run_ms", "tags/s", "polls/s", "digest");
   for (const Point& p : points) {

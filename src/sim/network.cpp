@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "obs/capture.h"
 #include "obs/prof.h"
 #include "sim/event_queue.h"
+#include "sim/spatial_hash.h"
 
 namespace itb::sim {
 
@@ -45,6 +47,39 @@ struct Shard {
   std::size_t group = 0;
   std::size_t begin = 0;  ///< slot range within the group's tag list
   std::size_t end = 0;
+};
+
+/// Streaming stats block: everything the final reduction needs from one
+/// shard when per-tag records are not kept. Each shard folds its local
+/// TagStats into one of these as it finishes, so memory stays
+/// O(shards + threads * shard_tags) instead of O(tags) — the difference
+/// between 1M-tag runs fitting in cache-adjacent memory and a ~250 MB
+/// TagStats array. Blocks merge sequentially in shard-index order (==
+/// group-major slot order, the same order the per-tag reduction walks),
+/// so the merged result is thread-count invariant.
+struct ShardAgg {
+  std::uint64_t queries = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t downlink_misses = 0;
+  std::uint64_t reservation_denied = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t messages_offered = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t backoff_skips = 0;
+  std::uint64_t brownout_skips = 0;
+  std::uint64_t outage_skips = 0;
+  std::uint64_t link_down_polls = 0;
+  std::uint64_t failover_polls = 0;
+  std::uint64_t fallback_polls = 0;
+  double payload_bits = 0.0;
+  double tx_energy_nj = 0.0;
+  double sum_tag_goodput = 0.0;
+  double sum_airtime_duty = 0.0;
+  double sum_harvest_duty = 0.0;
+  double sum_power_uw = 0.0;
 };
 
 /// Per-tag ARQ + fallback progress (lives in the owning shard only; a pure
@@ -147,22 +182,51 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
                             cfg_.wifi_channels, n);
 
   const std::size_t num_groups = cfg_.wifi_channels.size();
-  group_tags_.assign(num_groups, {});
   links_.resize(n);
   channels_.assign(num_groups, {});
+
+  // FDMA: balance groups round-robin by tag id. Deterministic and keeps
+  // every channel's TDMA round the same length to within one tag. Group g
+  // is the arithmetic sequence g, g+G, g+2G, ... — filled directly, no
+  // per-tag push_back.
+  group_tags_.assign(num_groups, {});
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t count = n > g ? (n - g - 1) / num_groups + 1 : 0;
+    group_tags_[g].resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      group_tags_[g][j] = static_cast<std::uint32_t>(g + j * num_groups);
+    }
+  }
 
   const Real ble_hz = itb::ble::ChannelMap::frequency_hz(cfg_.ble_channel);
 
   // --- per-tag link budgets (pure geometry + closed forms) -----------------
+  // Nearest helper/AP come from spatial-hash grids (bit-identical to the
+  // brute-force scans, including index-order tie-breaks), and the
+  // impairment preset — a function of the group's carrier only — is
+  // resolved once per Wi-Fi channel instead of once per tag. The loop body
+  // is a pure function of (cfg, placement) writing disjoint links_[t]
+  // slots, so it fans out over fixed-size blocks: thread count changes
+  // wall time, never results.
   itb::channel::LogDistanceModel pl;
   pl.exponent = cfg_.pathloss_exponent;
-  const auto impair = [&](Real snr_db, unsigned wifi_channel) {
-    if (cfg_.impairment_preset == itb::channel::ImpairmentPreset::kNone) {
-      return snr_db;
+  const SpatialHashGrid helper_grid(placement_.helpers);
+  const SpatialHashGrid ap_grid(placement_.aps);
+  std::vector<std::optional<itb::channel::ImpairmentConfig>> group_preset(
+      num_groups);
+  if (cfg_.impairment_preset != itb::channel::ImpairmentPreset::kNone) {
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      group_preset[g] = itb::channel::make_impairment_preset(
+          cfg_.impairment_preset, 11e6,
+          itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]));
     }
-    const auto imp = itb::channel::make_impairment_preset(
-        cfg_.impairment_preset, 11e6, itb::ble::wifi_channel_hz(wifi_channel));
-    return itb::channel::impaired_snr_db(*imp, snr_db, 1e6);
+  }
+  // Radio impairments degrade every reply before the PER mapping. The
+  // preset is resolved at the group's carrier; 1 us DSSS symbols set the
+  // timescale for CFO/phase-noise/delay-spread error accumulation.
+  const auto impair = [&](Real snr_db, std::size_t g) {
+    if (!group_preset[g]) return snr_db;
+    return itb::channel::impaired_snr_db(*group_preset[g], snr_db, 1e6);
   };
   const auto downlink_miss = [&](Real ap_distance_m) {
     const Real rssi = itb::channel::direct_rssi_dbm(cfg_.ap_tx_power_dbm, 2.0,
@@ -172,18 +236,14 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
                ? Real{1.0}
                : cfg_.polling.downlink_error_rate;
   };
-  for (std::size_t t = 0; t < n; ++t) {
+  const auto build_link = [&](std::size_t t) {
     TagLink& link = links_[t];
-    // FDMA: balance groups round-robin by tag id. Deterministic and keeps
-    // every channel's TDMA round the same length to within one tag.
     const std::size_t g = t % num_groups;
     link.wifi_channel = cfg_.wifi_channels[g];
-    group_tags_[g].push_back(static_cast<std::uint32_t>(t));
 
-    link.helper = static_cast<std::uint32_t>(
-        nearest_index(placement_.helpers, placement_.tags[t]));
-    link.ap = static_cast<std::uint32_t>(
-        nearest_index(placement_.aps, placement_.tags[t]));
+    link.helper =
+        static_cast<std::uint32_t>(helper_grid.nearest(placement_.tags[t]));
+    link.ap = static_cast<std::uint32_t>(ap_grid.nearest(placement_.tags[t]));
     link.helper_distance_m =
         distance_m(placement_.helpers[link.helper], placement_.tags[t]);
     link.ap_distance_m =
@@ -203,11 +263,7 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
         itb::channel::backscatter_rssi(budget, link.ap_distance_m);
     link.reply_rssi_dbm = s.rssi_dbm;
     link.link_down = s.link_down;
-    // Radio impairments degrade every reply before the PER mapping. The
-    // preset is resolved at the group's carrier; 1 us DSSS symbols set the
-    // timescale for CFO/phase-noise/delay-spread error accumulation.
-    link.snr_db = link.link_down ? s.snr_db
-                                 : impair(s.snr_db, link.wifi_channel);
+    link.snr_db = link.link_down ? s.snr_db : impair(s.snr_db, g);
 
     // Downlink: the AP's OFDM-AM query must clear the tag's peak detector
     // after the tissue loss; below sensitivity the tag never hears it.
@@ -222,15 +278,26 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
     // schedule mid-run, so failover keeps the tag's FDMA group and only
     // swaps which AP transmits/receives.
     if (cfg_.ap_failover && placement_.aps.size() > 1) {
-      Real best = 0.0;
-      for (std::size_t a = 0; a < placement_.aps.size(); ++a) {
-        if (a == link.ap) continue;
-        const Real d = std::max(
-            distance_m(placement_.aps[a], placement_.tags[t]), Real{0.05});
-        if (!link.has_failover || d < best) {
-          link.has_failover = true;
-          link.failover_ap = static_cast<std::uint32_t>(a);
-          best = d;
+      const std::size_t fo = ap_grid.nearest(placement_.tags[t], link.ap);
+      Real best = std::max(distance_m(placement_.aps[fo], placement_.tags[t]),
+                           Real{0.05});
+      link.has_failover = true;
+      link.failover_ap = static_cast<std::uint32_t>(fo);
+      // The historical scan compared *clamped* distances, which ties every
+      // AP inside the 5 cm floor and resolves to the lowest index. The
+      // grid compares raw distances, so replay the reference scan in that
+      // (vanishingly rare) regime to stay bit-identical.
+      if (best <= Real{0.05}) {
+        link.has_failover = false;
+        for (std::size_t a = 0; a < placement_.aps.size(); ++a) {
+          if (a == link.ap) continue;
+          const Real d = std::max(
+              distance_m(placement_.aps[a], placement_.tags[t]), Real{0.05});
+          if (!link.has_failover || d < best) {
+            link.has_failover = true;
+            link.failover_ap = static_cast<std::uint32_t>(a);
+            best = d;
+          }
         }
       }
       if (link.has_failover) {
@@ -239,12 +306,18 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
         if (fs.link_down) {
           link.has_failover = false;
         } else {
-          link.failover_snr_db = impair(fs.snr_db, link.wifi_channel);
+          link.failover_snr_db = impair(fs.snr_db, g);
           link.failover_downlink_miss_prob = downlink_miss(best);
         }
       }
     }
-  }
+  };
+  constexpr std::size_t kBuildBlock = 4096;
+  const std::size_t num_blocks = (n + kBuildBlock - 1) / kBuildBlock;
+  itb::core::parallel_for(num_blocks, cfg_.num_threads, [&](std::size_t bi) {
+    const std::size_t hi = std::min(n, (bi + 1) * kBuildBlock);
+    for (std::size_t t = bi * kBuildBlock; t < hi; ++t) build_link(t);
+  });
 
   // --- per-group airtime occupancy and mean reply power --------------------
   const double slot_us = mac::poll_slot_us(cfg_.polling);
@@ -316,8 +389,12 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
   }
 
   // --- leakage-degraded reply PER per tag ----------------------------------
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    for (const std::uint32_t t : group_tags_[g]) {
+  // Same fan-out discipline as the budget loop: disjoint links_[t] writes,
+  // pure closed forms, fixed blocks.
+  itb::core::parallel_for(num_blocks, cfg_.num_threads, [&](std::size_t bi) {
+    const std::size_t hi = std::min(n, (bi + 1) * kBuildBlock);
+    for (std::size_t t = bi * kBuildBlock; t < hi; ++t) {
+      const std::size_t g = t % num_groups;
       TagLink& link = links_[t];
       const Real snr = link.snr_db - channels_[g].leakage_noise_rise_db;
       link.reply_per =
@@ -332,7 +409,7 @@ NetworkCoordinator::NetworkCoordinator(const NetworkConfig& cfg) : cfg_(cfg) {
                               : Real{1.0};
       }
     }
-  }
+  });
 }
 
 NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
@@ -391,7 +468,11 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
     }
   }
 
-  std::vector<TagStats> tag_stats(n);
+  // Per-tag records are only materialized globally when the caller asked to
+  // keep them; otherwise each shard streams its TagStats into a ShardAgg
+  // block and the O(tags) array is never allocated.
+  std::vector<TagStats> tag_stats(cfg_.keep_per_tag ? n : 0);
+  std::vector<ShardAgg> shard_agg(cfg_.keep_per_tag ? 0 : shards.size());
   std::vector<LatencyHistogram> shard_latency(shards.size());
   std::vector<LatencyHistogram> shard_recovery(shards.size());
   std::vector<RetryHistogram> shard_retries(shards.size());
@@ -478,6 +559,11 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
           }
         }
 
+        // Shard-local per-tag accounting: written here, then either copied
+        // into the global per-tag array (keep_per_tag) or folded into this
+        // shard's ShardAgg block (streaming). Local slots also keep the hot
+        // loop's writes dense instead of group-strided across the fleet.
+        std::vector<TagStats> local(sh.end - sh.begin);
         // Payload generation time of each tag's currently-pending payload
         // (latency is measured from here to successful delivery; a failed
         // poll retries the same payload next round).
@@ -598,11 +684,11 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
         while (!queue.empty()) {
           const Event ev = queue.pop();
           const std::uint32_t tag = ev.entity;
-          TagStats& ts = tag_stats[tag];
           const std::uint64_t round = ev.data & 0xFFFFFFFFULL;
           const auto slot =
               static_cast<std::size_t>((ev.data >> 32) & 0x7FFFFFFFULL);
           const std::size_t shard_slot = slot - sh.begin;
+          TagStats& ts = local[shard_slot];
           ArqProgress& st = progress[shard_slot];
           const TagLink& link = links_[tag];
 
@@ -775,7 +861,7 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
         // Static per-tag link annotations + deterministic harvest model.
         for (std::size_t s = sh.begin; s < sh.end; ++s) {
           const std::uint32_t tag = group_tags_[g][s];
-          TagStats& ts = tag_stats[tag];
+          TagStats& ts = local[s - sh.begin];
           const ArqProgress& st = progress[s - sh.begin];
           ts.tag_id = tag;
           ts.wifi_channel = links_[tag].wifi_channel;
@@ -814,6 +900,53 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
             cells->add(mid.outages, ts.outage_skips);
             cells->add(mid.failovers, ts.failover_polls);
             cells->add(mid.link_down, ts.link_down_polls);
+          }
+        }
+
+        if (cfg_.keep_per_tag) {
+          // Copy into the tag-indexed global array: the reduction below and
+          // out.per_tag read the exact values the old global-array path
+          // produced, so digests are bit-identical.
+          for (std::size_t s = sh.begin; s < sh.end; ++s) {
+            tag_stats[group_tags_[g][s]] = local[s - sh.begin];
+          }
+        } else {
+          // Streaming: fold this shard's tags into its aggregate block in
+          // slot order. elapsed/shift are per-group constants, so the fold
+          // computes the same per-tag terms the reduction loop would.
+          ShardAgg& agg = shard_agg[si];
+          const double elapsed = channels_[g].elapsed_us;
+          const Real shift_hz =
+              itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]) - ble_hz;
+          for (const TagStats& ts : local) {
+            agg.queries += ts.queries;
+            agg.replies += ts.replies;
+            agg.downlink_misses += ts.downlink_misses;
+            agg.reservation_denied += ts.reservation_denied;
+            agg.collisions += ts.collisions;
+            agg.decode_failures += ts.decode_failures;
+            agg.messages_offered += ts.messages_offered;
+            agg.messages_delivered += ts.messages_delivered;
+            agg.messages_dropped += ts.messages_dropped;
+            agg.retransmissions += ts.retransmissions;
+            agg.backoff_skips += ts.backoff_skips;
+            agg.brownout_skips += ts.brownout_skips;
+            agg.outage_skips += ts.outage_skips;
+            agg.link_down_polls += ts.link_down_polls;
+            agg.failover_polls += ts.failover_polls;
+            agg.fallback_polls += ts.fallback_polls;
+            agg.payload_bits += ts.payload_bits;
+            agg.tx_energy_nj += ts.tx_energy_nj;
+            agg.sum_tag_goodput +=
+                mac::safe_goodput_kbps(ts.payload_bits, elapsed);
+            const double airtime_duty =
+                elapsed > 0.0 ? ts.airtime_us / elapsed : 0.0;
+            const double harvest_duty =
+                elapsed > 0.0 ? ts.harvest_us / elapsed : 0.0;
+            agg.sum_airtime_duty += airtime_duty;
+            agg.sum_harvest_duty += harvest_duty;
+            agg.sum_power_uw += power.average_power_uw(
+                cfg_.rate, std::abs(shift_hz), std::min(airtime_duty, 1.0));
           }
         }
       });
@@ -869,41 +1002,75 @@ NetworkStats NetworkCoordinator::run(obs::RunCapture* capture) const {
   for (std::size_t g = 0; g < num_groups; ++g) {
     out.elapsed_us = std::max(out.elapsed_us, channels_[g].elapsed_us);
   }
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    const double elapsed = channels_[g].elapsed_us;
-    const Real shift_hz =
-        itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]) - ble_hz;
-    for (const std::uint32_t t : group_tags_[g]) {
-      const TagStats& ts = tag_stats[t];
-      out.queries_sent += ts.queries;
-      out.replies_received += ts.replies;
-      out.downlink_misses += ts.downlink_misses;
-      out.reservation_denied += ts.reservation_denied;
-      out.collisions += ts.collisions;
-      out.decode_failures += ts.decode_failures;
-      out.messages_offered += ts.messages_offered;
-      out.messages_delivered += ts.messages_delivered;
-      out.messages_dropped += ts.messages_dropped;
-      out.retransmissions += ts.retransmissions;
-      out.backoff_skips += ts.backoff_skips;
-      out.brownout_skips += ts.brownout_skips;
-      out.outage_skips += ts.outage_skips;
-      out.link_down_polls += ts.link_down_polls;
-      out.failover_polls += ts.failover_polls;
-      out.fallback_polls += ts.fallback_polls;
-      out.channels[g].replies += ts.replies;
-      out.channels[g].collisions += ts.collisions;
-      total_bits += ts.payload_bits;
-      total_energy_nj += ts.tx_energy_nj;
-      sum_tag_goodput += mac::safe_goodput_kbps(ts.payload_bits, elapsed);
-      const double airtime_duty =
-          elapsed > 0.0 ? ts.airtime_us / elapsed : 0.0;
-      const double harvest_duty =
-          elapsed > 0.0 ? ts.harvest_us / elapsed : 0.0;
-      sum_airtime_duty += airtime_duty;
-      sum_harvest_duty += harvest_duty;
-      sum_power_uw += power.average_power_uw(cfg_.rate, std::abs(shift_hz),
-                                             std::min(airtime_duty, 1.0));
+  if (cfg_.keep_per_tag) {
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const double elapsed = channels_[g].elapsed_us;
+      const Real shift_hz =
+          itb::ble::wifi_channel_hz(cfg_.wifi_channels[g]) - ble_hz;
+      for (const std::uint32_t t : group_tags_[g]) {
+        const TagStats& ts = tag_stats[t];
+        out.queries_sent += ts.queries;
+        out.replies_received += ts.replies;
+        out.downlink_misses += ts.downlink_misses;
+        out.reservation_denied += ts.reservation_denied;
+        out.collisions += ts.collisions;
+        out.decode_failures += ts.decode_failures;
+        out.messages_offered += ts.messages_offered;
+        out.messages_delivered += ts.messages_delivered;
+        out.messages_dropped += ts.messages_dropped;
+        out.retransmissions += ts.retransmissions;
+        out.backoff_skips += ts.backoff_skips;
+        out.brownout_skips += ts.brownout_skips;
+        out.outage_skips += ts.outage_skips;
+        out.link_down_polls += ts.link_down_polls;
+        out.failover_polls += ts.failover_polls;
+        out.fallback_polls += ts.fallback_polls;
+        out.channels[g].replies += ts.replies;
+        out.channels[g].collisions += ts.collisions;
+        total_bits += ts.payload_bits;
+        total_energy_nj += ts.tx_energy_nj;
+        sum_tag_goodput += mac::safe_goodput_kbps(ts.payload_bits, elapsed);
+        const double airtime_duty =
+            elapsed > 0.0 ? ts.airtime_us / elapsed : 0.0;
+        const double harvest_duty =
+            elapsed > 0.0 ? ts.harvest_us / elapsed : 0.0;
+        sum_airtime_duty += airtime_duty;
+        sum_harvest_duty += harvest_duty;
+        sum_power_uw += power.average_power_uw(cfg_.rate, std::abs(shift_hz),
+                                               std::min(airtime_duty, 1.0));
+      }
+    }
+  } else {
+    // Streaming merge: shard blocks in index order. The shard list is built
+    // group-major (same order the per-tag loop above walks), and the
+    // partition is fixed by shard_tags, so the merged totals are identical
+    // at any thread count.
+    for (std::size_t si = 0; si < shards.size(); ++si) {
+      const ShardAgg& agg = shard_agg[si];
+      out.queries_sent += agg.queries;
+      out.replies_received += agg.replies;
+      out.downlink_misses += agg.downlink_misses;
+      out.reservation_denied += agg.reservation_denied;
+      out.collisions += agg.collisions;
+      out.decode_failures += agg.decode_failures;
+      out.messages_offered += agg.messages_offered;
+      out.messages_delivered += agg.messages_delivered;
+      out.messages_dropped += agg.messages_dropped;
+      out.retransmissions += agg.retransmissions;
+      out.backoff_skips += agg.backoff_skips;
+      out.brownout_skips += agg.brownout_skips;
+      out.outage_skips += agg.outage_skips;
+      out.link_down_polls += agg.link_down_polls;
+      out.failover_polls += agg.failover_polls;
+      out.fallback_polls += agg.fallback_polls;
+      out.channels[shards[si].group].replies += agg.replies;
+      out.channels[shards[si].group].collisions += agg.collisions;
+      total_bits += agg.payload_bits;
+      total_energy_nj += agg.tx_energy_nj;
+      sum_tag_goodput += agg.sum_tag_goodput;
+      sum_airtime_duty += agg.sum_airtime_duty;
+      sum_harvest_duty += agg.sum_harvest_duty;
+      sum_power_uw += agg.sum_power_uw;
     }
   }
   out.aggregate_goodput_kbps =

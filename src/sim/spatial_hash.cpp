@@ -1,0 +1,141 @@
+#include "sim/spatial_hash.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itb::sim {
+
+namespace {
+
+/// Per-axis cell-count cap: bounds the start_ offset table at ~2^30 cells
+/// in the worst case while keeping ~1 node/cell for every fleet size the
+/// sim targets (cells simply grow past the cap).
+constexpr std::size_t kMaxCellsPerAxis = std::size_t{1} << 15;
+
+}  // namespace
+
+SpatialHashGrid::SpatialHashGrid(std::vector<Vec2> nodes)
+    : nodes_(std::move(nodes)) {
+  const std::size_t n = nodes_.size();
+  if (n == 0) {
+    start_.assign(2, 0);
+    return;
+  }
+
+  Real max_x = nodes_[0].x;
+  Real max_y = nodes_[0].y;
+  min_x_ = nodes_[0].x;
+  min_y_ = nodes_[0].y;
+  for (const Vec2& v : nodes_) {
+    min_x_ = std::min(min_x_, v.x);
+    min_y_ = std::min(min_y_, v.y);
+    max_x = std::max(max_x, v.x);
+    max_y = std::max(max_y, v.y);
+  }
+  const Real w = max_x - min_x_;
+  const Real h = max_y - min_y_;
+
+  // Fixed cell size from node density: ~one node per cell for a 2-D
+  // spread; collinear layouts (APs on the corridor midline) degenerate to
+  // an even 1-D split. Cells are square so the ring lower bound below is a
+  // single multiply.
+  const auto dn = static_cast<Real>(n);
+  Real cell = (w > 0.0 && h > 0.0) ? std::sqrt(w * h / dn)
+                                   : std::max(w, h) / dn;
+  if (!(cell > 0.0)) cell = 1.0;  // all nodes coincident
+  // Inflating the cell instead of capping nx_/ny_ directly keeps the
+  // node-to-cell map purely geometric: a node's cell index can never be
+  // clamped out of its true cell, which the ring lower bound relies on.
+  // The offset table stays O(n + kMaxCellsPerAxis) entries either way.
+  const auto max_dim = static_cast<Real>(kMaxCellsPerAxis);
+  cell = std::max({cell, w / max_dim, h / max_dim});
+  cell_ = cell;
+  nx_ = static_cast<std::size_t>(w / cell_) + 1;
+  ny_ = static_cast<std::size_t>(h / cell_) + 1;
+
+  // Counting sort into CSR cell lists; the sort is stable in node index, so
+  // every cell's list is ascending — the order the tie-break relies on.
+  start_.assign(nx_ * ny_ + 1, 0);
+  for (const Vec2& v : nodes_) ++start_[cell_of(v) + 1];
+  for (std::size_t c = 1; c < start_.size(); ++c) start_[c] += start_[c - 1];
+  order_.resize(n);
+  std::vector<std::uint32_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_[cursor[cell_of(nodes_[i])]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t SpatialHashGrid::cell_of(const Vec2& p) const {
+  const auto cx = std::min(
+      static_cast<std::size_t>(std::max(Real{0.0}, (p.x - min_x_) / cell_)),
+      nx_ - 1);
+  const auto cy = std::min(
+      static_cast<std::size_t>(std::max(Real{0.0}, (p.y - min_y_) / cell_)),
+      ny_ - 1);
+  return cy * nx_ + cx;
+}
+
+std::size_t SpatialHashGrid::nearest(const Vec2& p, std::size_t exclude) const {
+  const std::size_t n = nodes_.size();
+  if (n == 0) return npos;
+
+  std::size_t best = npos;
+  Real best_d = std::numeric_limits<Real>::infinity();
+  const auto scan_cell = [&](std::ptrdiff_t cx, std::ptrdiff_t cy) {
+    if (cx < 0 || cy < 0 || cx >= static_cast<std::ptrdiff_t>(nx_) ||
+        cy >= static_cast<std::ptrdiff_t>(ny_)) {
+      return;
+    }
+    const std::size_t c = static_cast<std::size_t>(cy) * nx_ +
+                          static_cast<std::size_t>(cx);
+    for (std::uint32_t k = start_[c]; k < start_[c + 1]; ++k) {
+      const std::size_t idx = order_[k];
+      if (idx == exclude) continue;
+      // Same distance_m() the brute-force scan computes, so ordering (and
+      // therefore the returned index) is decided on identical doubles.
+      const Real d = distance_m(nodes_[idx], p);
+      if (d < best_d || (d == best_d && idx < best)) {
+        best_d = d;
+        best = idx;
+      }
+    }
+  };
+
+  // Virtual (possibly out-of-range) cell containing p. Kept unclamped so
+  // the ring lower bound holds for query points outside the node bounding
+  // box: any node in a cell at Chebyshev cell-distance k from p's own cell
+  // is at least (k-1)*cell away.
+  const auto vcx =
+      static_cast<std::ptrdiff_t>(std::floor((p.x - min_x_) / cell_));
+  const auto vcy =
+      static_cast<std::ptrdiff_t>(std::floor((p.y - min_y_) / cell_));
+  // Beyond this ring every grid cell has been visited.
+  const std::ptrdiff_t reach_x =
+      std::max(std::abs(vcx), std::abs(vcx - (static_cast<std::ptrdiff_t>(nx_) - 1)));
+  const std::ptrdiff_t reach_y =
+      std::max(std::abs(vcy), std::abs(vcy - (static_cast<std::ptrdiff_t>(ny_) - 1)));
+  const std::ptrdiff_t max_ring = std::max(reach_x, reach_y);
+
+  for (std::ptrdiff_t k = 0; k <= max_ring; ++k) {
+    if (k == 0) {
+      scan_cell(vcx, vcy);
+    } else {
+      for (std::ptrdiff_t dx = -k; dx <= k; ++dx) {
+        scan_cell(vcx + dx, vcy - k);  // top edge
+        scan_cell(vcx + dx, vcy + k);  // bottom edge
+      }
+      for (std::ptrdiff_t dy = -k + 1; dy <= k - 1; ++dy) {
+        scan_cell(vcx - k, vcy + dy);  // left edge
+        scan_cell(vcx + k, vcy + dy);  // right edge
+      }
+    }
+    // Ring k+1 cannot hold anything nearer than k*cell. Stop only on a
+    // strict bound violation: a node at exactly best_d but a lower index
+    // could still be out there, and ties must resolve to the lowest index
+    // to stay bit-identical with the brute-force scan.
+    if (best != npos && static_cast<Real>(k) * cell_ > best_d) break;
+  }
+  return best;
+}
+
+}  // namespace itb::sim

@@ -1,6 +1,7 @@
 #include "sim/topology.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/rng.h"
 
@@ -11,6 +12,9 @@ Real distance_m(const Vec2& a, const Vec2& b) {
 }
 
 std::size_t nearest_index(const std::vector<Vec2>& nodes, const Vec2& p) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("nearest_index: empty node set");
+  }
   std::size_t best = 0;
   Real best_d = distance_m(nodes[0], p);
   for (std::size_t i = 1; i < nodes.size(); ++i) {
@@ -75,6 +79,8 @@ Placement hospital_ward(const TopologyConfig& cfg,
   const std::size_t rooms = (cfg.num_tags + beds - 1) / beds;
   const Real corridor_y = cfg.room_depth_m;  // corridor axis
 
+  // Every room uses the same bed lattice; compute it once, not per room.
+  const auto bed_grid = lattice(beds, cfg.room_pitch_m * 0.8);
   // Rooms alternate sides of the corridor: room r sits at x = pitch*(r/2),
   // y = 0 (south) or 2*room_depth (north).
   for (std::size_t r = 0; r < rooms && out.tags.size() < cfg.num_tags; ++r) {
@@ -83,8 +89,7 @@ Placement hospital_ward(const TopologyConfig& cfg,
                                  : corridor_y + cfg.room_depth_m * 0.6;
     // One BLE helper per room, wall-mounted at the room centre.
     out.helpers.push_back({cx, cy});
-    // Beds on a small lattice inside the room; one tag per bed, scattered.
-    const auto bed_grid = lattice(beds, cfg.room_pitch_m * 0.8);
+    // Beds on the shared lattice; one tag per bed, scattered.
     for (std::size_t b = 0; b < beds && out.tags.size() < cfg.num_tags; ++b) {
       const Real jx = rng.uniform(-cfg.bed_scatter_m, cfg.bed_scatter_m);
       const Real jy = rng.uniform(-cfg.bed_scatter_m, cfg.bed_scatter_m);
@@ -100,12 +105,14 @@ Placement hospital_ward(const TopologyConfig& cfg,
   // num_helpers is advisory for the ward: the ward places one per room, but
   // honours an explicit smaller count by trimming (keeps coverage sparse).
   if (cfg.num_helpers != 0 && out.helpers.size() > cfg.num_helpers) {
-    // Keep every k-th room's helper so coverage stays spread out.
+    // Centered strided selection: helper i covers the middle of the i-th of
+    // num_helpers equal room spans. (The old `i * total / num_helpers`
+    // always kept room 0 and biased coverage toward the corridor start.)
     std::vector<Vec2> kept;
     kept.reserve(cfg.num_helpers);
     const std::size_t total = out.helpers.size();
     for (std::size_t i = 0; i < cfg.num_helpers; ++i) {
-      kept.push_back(out.helpers[i * total / cfg.num_helpers]);
+      kept.push_back(out.helpers[(2 * i + 1) * total / (2 * cfg.num_helpers)]);
     }
     out.helpers = std::move(kept);
   }

@@ -29,7 +29,9 @@ struct Vec2 {
 Real distance_m(const Vec2& a, const Vec2& b);
 
 /// Index of the node in `nodes` closest to `p` (lowest index wins ties).
-/// `nodes` must be non-empty.
+/// Throws std::invalid_argument on an empty node set. O(nodes) scan — the
+/// reference semantics; bulk callers use sim::SpatialHashGrid, which is
+/// bit-identical to this scan including tie-breaks.
 std::size_t nearest_index(const std::vector<Vec2>& nodes, const Vec2& p);
 
 enum class TopologyKind {

@@ -8,8 +8,11 @@ Both files follow the bench/*.cpp --json shape:
 
 Entries are matched by "name"; for each match the chosen metric (default
 tags_per_second, higher is better) is compared and a regression beyond
---threshold-pct fails the run. Names present on only one side are reported
-but never fail: the baseline is a floor for shared points, not a schema.
+--threshold-pct fails the run. A second, lower-is-better metric (e.g.
+build_ms) can be gated with --time-metric/--time-threshold-pct: it fails
+when the fresh value rises more than the threshold above baseline. Names
+present on only one side are reported but never fail: the baseline is a
+floor for shared points, not a schema.
 
 Digest fields, when present on both sides, are compared too. They drift
 legitimately whenever a PR extends NetworkStats (the digest covers every
@@ -50,6 +53,13 @@ def main():
     ap.add_argument("--threshold-pct", type=float, default=25.0,
                     help="fail when the metric drops more than this percent "
                          "below baseline (default: 25)")
+    ap.add_argument("--time-metric", default=None,
+                    help="optional lower-is-better metric to gate as well "
+                         "(e.g. build_ms); fails when the fresh value rises "
+                         "more than --time-threshold-pct above baseline")
+    ap.add_argument("--time-threshold-pct", type=float, default=50.0,
+                    help="allowed rise for --time-metric, percent above "
+                         "baseline (default: 50)")
     ap.add_argument("--require-digest", action="store_true",
                     help="treat digest mismatches as failures (same-build "
                          "comparisons only; across code versions digests "
@@ -77,6 +87,14 @@ def main():
         if delta < -args.threshold_pct:
             verdict = f"  REGRESSION (>{args.threshold_pct:g}% below baseline)"
             failed = True
+        if args.time_metric and args.time_metric in b and args.time_metric in f:
+            tb, tf = float(b[args.time_metric]), float(f[args.time_metric])
+            rise = (tf - tb) / tb * 100.0 if tb != 0.0 else 0.0
+            if rise > args.time_threshold_pct:
+                verdict += (f"  {args.time_metric} {tb:.3f} -> {tf:.3f} "
+                            f"SLOWDOWN (>{args.time_threshold_pct:g}% above "
+                            f"baseline)")
+                failed = True
         if "digest" in b and "digest" in f and b["digest"] != f["digest"]:
             verdict += f"  digest {b['digest']} -> {f['digest']}"
             if args.require_digest:
