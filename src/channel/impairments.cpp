@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/arena.h"
 #include "dsp/rng.h"
+#include "dsp/simd/kernels.h"
 #include "dsp/units.h"
 #include "obs/prof.h"
 
@@ -18,13 +20,15 @@ enum Stage : std::uint64_t {
   kStagePhase = 2,  // initial carrier phase + phase-noise walk
 };
 
-/// Multipath tap gains for one realization. Mean total power is 1 so the
+/// Multipath tap gains for one realization, written into `taps`
+/// (arena-backed scratch; n = taps.size()). Mean total power is 1 so the
 /// impairment does not change the average link budget, only its spread.
-CVec draw_taps(const MultipathConfig& mp, Real sample_rate_hz,
-               itb::dsp::Xoshiro256& rng) {
-  const std::size_t n = std::max<std::size_t>(mp.num_taps, 1);
+void draw_taps(const MultipathConfig& mp, Real sample_rate_hz,
+               itb::dsp::Xoshiro256& rng, itb::core::Arena& arena,
+               std::span<Complex> taps) {
+  const std::size_t n = taps.size();
   // Exponential power-delay profile sampled at the tap spacing.
-  std::vector<Real> profile(n);
+  std::span<Real> profile = arena.alloc_span<Real>(n);
   Real total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const Real delay_s = static_cast<Real>(i) / sample_rate_hz;
@@ -35,7 +39,6 @@ CVec draw_taps(const MultipathConfig& mp, Real sample_rate_hz,
   }
   for (Real& p : profile) p /= total;
 
-  CVec taps(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (i == 0 && mp.k_factor > 0.0) {
       // Rician first tap: deterministic LOS component plus scatter.
@@ -47,7 +50,6 @@ CVec draw_taps(const MultipathConfig& mp, Real sample_rate_hz,
       taps[i] = rng.complex_gaussian(profile[i]);
     }
   }
-  return taps;
 }
 
 }  // namespace
@@ -68,17 +70,24 @@ CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
 
   // --- 1. multipath convolution -------------------------------------------
   if (cfg_.multipath && !y.empty()) {
+    // Tap draws and the convolution output are trial scratch: carved from
+    // the thread arena and rewound on scope exit, so a Monte-Carlo sweep
+    // allocates nothing here after warm-up.
+    itb::core::ArenaFrame scratch;
     itb::dsp::Xoshiro256 rng(
         impairment_substream(seed, stream, kStageMultipath));
-    const CVec taps = draw_taps(*cfg_.multipath, cfg_.sample_rate_hz, rng);
-    CVec conv(y.size(), Complex{0.0, 0.0});
-    for (std::size_t i = 0; i < y.size(); ++i) {
-      Complex acc{0.0, 0.0};
-      const std::size_t kmax = std::min(taps.size(), i + 1);
-      for (std::size_t k = 0; k < kmax; ++k) acc += taps[k] * y[i - k];
-      conv[i] = acc;
-    }
-    y = std::move(conv);
+    const std::size_t ntaps =
+        std::max<std::size_t>(cfg_.multipath->num_taps, 1);
+    std::span<Complex> taps = scratch.arena().alloc_span<Complex>(ntaps);
+    draw_taps(*cfg_.multipath, cfg_.sample_rate_hz, rng, scratch.arena(),
+              taps);
+    // Causal convolution with ramp-in, vectorized across output samples
+    // (per-output tap order k ascending, identical to the scalar loop).
+    std::span<Complex> conv =
+        scratch.arena().alloc_span_zeroed<Complex>(y.size());
+    itb::dsp::simd::active_kernels().fir_causal_complex(
+        y.data(), y.size(), taps.data(), taps.size(), conv.data());
+    std::copy(conv.begin(), conv.end(), y.begin());
   }
 
   // --- 2. carrier offset + phase noise ------------------------------------
@@ -114,16 +123,23 @@ CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
     const auto drift = static_cast<std::size_t>(
         std::ceil(static_cast<Real>(y.size()) * std::abs(cfg_.sro_ppm) * 1e-6));
     y.resize(y.size() + drift + 1, Complex{0.0, 0.0});
-    CVec res;
-    res.reserve(y.size());
+    // Output count is bounded by (padded length)/ratio + 1; the resampled
+    // waveform is built in arena scratch and copied into the result once
+    // its exact length is known.
+    itb::core::ArenaFrame scratch;
+    const auto bound = static_cast<std::size_t>(
+                           static_cast<Real>(y.size()) / ratio) +
+                       2;
+    std::span<Complex> res = scratch.arena().alloc_span<Complex>(bound);
+    std::size_t count = 0;
     for (std::size_t i = 0;; ++i) {
       const Real pos = static_cast<Real>(i) * ratio;
       const auto i0 = static_cast<std::size_t>(pos);
       if (i0 + 1 >= y.size()) break;
       const Real frac = pos - static_cast<Real>(i0);
-      res.push_back(y[i0] * (1.0 - frac) + y[i0 + 1] * frac);
+      res[count++] = y[i0] * (1.0 - frac) + y[i0 + 1] * frac;
     }
-    y = std::move(res);
+    y.assign(res.begin(), res.begin() + static_cast<std::ptrdiff_t>(count));
   }
 
   // --- 4. IQ gain/phase imbalance -----------------------------------------
@@ -134,7 +150,8 @@ CVec ImpairmentChain::apply_channel(const CVec& x, std::uint64_t seed,
     const Complex e{std::cos(phi), std::sin(phi)};
     const Complex alpha = (1.0 + g * e) / 2.0;
     const Complex beta = (1.0 - g * std::conj(e)) / 2.0;
-    for (Complex& v : y) v = alpha * v + beta * std::conj(v);
+    itb::dsp::simd::active_kernels().iq_imbalance(y.data(), alpha, beta,
+                                                  y.size());
   }
 
   return y;
@@ -149,14 +166,11 @@ CVec ImpairmentChain::apply_frontend(const CVec& x) const {
   const Real full_scale = rms * itb::dsp::db_to_amplitude(cfg_.adc_headroom_db);
   const Real levels = std::pow(2.0, static_cast<Real>(cfg_.adc_bits - 1));
   const Real step = full_scale / levels;
-  CVec y(x.size());
-  const auto quantize = [&](Real v) {
-    const Real clipped = std::clamp(v, -full_scale, full_scale - step);
-    return (std::floor(clipped / step) + 0.5) * step;
-  };
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = Complex{quantize(x[i].real()), quantize(x[i].imag())};
-  }
+  // Mid-rise quantizer, vectorized per double: clamp to
+  // [-full_scale, full_scale - step] then (floor(v/step) + 0.5) * step.
+  CVec y = x;
+  itb::dsp::simd::active_kernels().quantize_midrise(y.data(), full_scale, step,
+                                                    y.size());
   return y;
 }
 

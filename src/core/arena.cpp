@@ -1,0 +1,10 @@
+#include "core/arena.h"
+
+namespace itb::core {
+
+Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace itb::core

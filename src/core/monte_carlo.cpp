@@ -2,6 +2,7 @@
 
 #include "channel/awgn.h"
 #include "channel/link.h"
+#include "core/arena.h"
 #include "core/parallel.h"
 #include "dsp/rng.h"
 #include "wifi/dsss_rx.h"
@@ -36,6 +37,11 @@ std::vector<PerPoint> per_vs_snr(const MonteCarloConfig& cfg,
   if (cfg.impairments) chain.emplace(*cfg.impairments);
 
   parallel_for(total, cfg.num_threads, [&](std::size_t idx) {
+    // Trial-scope arena frame: impairment scratch (tap draws, convolution
+    // and resampler buffers) bumps into the worker's thread arena and is
+    // rewound here, so steady-state sweeps stop hitting the heap for
+    // per-trial intermediates.
+    const ArenaFrame trial_scratch;
     const std::size_t point = idx / trials;
     const std::size_t trial = idx % trials;
     itb::dsp::Xoshiro256 rng(trial_seed(cfg.seed, point, trial));

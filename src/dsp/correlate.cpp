@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cmath>
 
+#include <vector>
+
 #include "dsp/fir.h"
 #include "dsp/ola.h"
+#include "dsp/simd/kernels.h"
 #include "obs/prof.h"
 
 namespace itb::dsp {
@@ -23,34 +26,20 @@ CVec cross_correlate_direct(std::span<const Complex> x,
       break;
     }
   }
+  const simd::KernelTable& kern = simd::active_kernels();
   if (real_pattern) {
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      Real ar = 0.0;
-      Real ai = 0.0;
-      for (std::size_t k = 0; k < pattern.size(); ++k) {
-        const Real pr = pattern[k].real();
-        ar += x[i + k].real() * pr;
-        ai += x[i + k].imag() * pr;
-      }
-      out[i] = Complex{ar, ai};
-    }
+    thread_local std::vector<Real> preal;
+    preal.resize(pattern.size());
+    for (std::size_t k = 0; k < pattern.size(); ++k) preal[k] = pattern[k].real();
+    kern.correlate_real(x.data(), x.size(), preal.data(), pattern.size(),
+                        out.data());
     return out;
   }
-  // Explicit real arithmetic for x * conj(p): the operands are finite, so
-  // std::complex's inf/NaN multiply fixup is dead weight in this hot loop.
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    Real ar = 0.0;
-    Real ai = 0.0;
-    for (std::size_t k = 0; k < pattern.size(); ++k) {
-      const Real xr = x[i + k].real();
-      const Real xi = x[i + k].imag();
-      const Real pr = pattern[k].real();
-      const Real pi = pattern[k].imag();
-      ar += xr * pr + xi * pi;
-      ai += xi * pr - xr * pi;
-    }
-    out[i] = Complex{ar, ai};
-  }
+  // x * conj(p) with explicit real arithmetic (finite operands, so the
+  // std::complex inf/NaN multiply fixup is dead weight); vectorized across
+  // output lags with per-lag accumulation order unchanged.
+  kern.correlate_conj(x.data(), x.size(), pattern.data(), pattern.size(),
+                      out.data());
   return out;
 }
 

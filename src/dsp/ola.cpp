@@ -4,6 +4,7 @@
 
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
+#include "dsp/simd/kernels.h"
 #include "obs/prof.h"
 
 namespace itb::dsp {
@@ -48,7 +49,8 @@ CVec overlap_save_convolve(std::span<const Complex> x, std::span<const Complex> 
                    : Complex{0.0, 0.0};
     }
     plan.forward(buf);
-    for (std::size_t i = 0; i < block; ++i) buf[i] *= kernel_spectrum[i];
+    simd::active_kernels().cmul_pointwise(buf.data(), kernel_spectrum.data(),
+                                          block);
     plan.inverse(buf);
     const std::size_t take = std::min(step, ny - out_start);
     for (std::size_t t = 0; t < take; ++t) y[out_start + t] = buf[nh - 1 + t];

@@ -1,5 +1,6 @@
 #include "dsp/resample.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -25,7 +26,11 @@ CVec decimate(std::span<const Complex> x, std::size_t factor) {
   const std::size_t taps = 8 * factor + 1;
   const RVec lp = design_lowpass(taps, 0.45 / static_cast<Real>(factor));
   const CVec filtered = filter_same(x, lp);
-  CVec out(x.size() / factor);
+  // Ceil semantics: keep every sample at index i*factor < x.size(), so the
+  // output has ceil(n / factor) samples. The old n / factor sizing silently
+  // dropped up to factor - 1 trailing samples at non-divisible lengths,
+  // truncating frame tails.
+  CVec out((x.size() + factor - 1) / factor);
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = filtered[i * factor];
   return out;
 }
@@ -39,7 +44,12 @@ CVec resample_linear(std::span<const Complex> x, Real in_rate_hz, Real out_rate_
   CVec out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) {
     const Real pos = static_cast<Real>(i) * ratio;
-    const auto idx = static_cast<std::size_t>(pos);
+    // out_len is derived from (x.size()-1)/ratio with two roundings, so for
+    // the last i the product i*ratio can land past x.size()-1 and idx would
+    // index one past the end. Clamp to the final sample (frac then blends a
+    // sample with itself, which is exact).
+    const auto idx =
+        std::min(static_cast<std::size_t>(pos), x.size() - 1);
     const Real frac = pos - static_cast<Real>(idx);
     const Complex a = x[idx];
     const Complex b = idx + 1 < x.size() ? x[idx + 1] : x[idx];

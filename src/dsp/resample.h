@@ -12,9 +12,13 @@
 namespace itb::dsp {
 
 /// Integer upsampling: zero-stuff by factor L then low-pass interpolate.
+/// Output length is exactly x.size() * L.
 CVec upsample(std::span<const Complex> x, std::size_t factor);
 
-/// Integer decimation: anti-alias low-pass then keep every Mth sample.
+/// Integer decimation: anti-alias low-pass then keep every Mth sample
+/// (indices 0, M, 2M, ...). Output length is ceil(x.size() / M): a trailing
+/// partial stride still contributes its first sample, so frame tails at
+/// non-divisible lengths are never silently dropped.
 CVec decimate(std::span<const Complex> x, std::size_t factor);
 
 /// Linear-interpolation resampler to an arbitrary rational/real ratio

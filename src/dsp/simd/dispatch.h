@@ -1,0 +1,49 @@
+// Runtime SIMD dispatch for the batched PHY kernels (see kernels.h).
+//
+// Exactly one kernel table is active at a time: the scalar reference, or a
+// vector implementation (AVX2 on x86-64, NEON on aarch64) compiled into its
+// own translation unit with the matching -m flags. Selection happens once at
+// startup from (a) what this binary was compiled with, (b) what the CPU
+// reports at runtime, and (c) the ITB_DISABLE_SIMD environment variable;
+// tests can additionally flip dispatch at runtime with set_simd_enabled().
+//
+// The determinism contract (DESIGN.md "Batched PHY engine and dispatch
+// determinism") requires every kernel to produce bit-identical results under
+// any dispatch level, so which table is active is a pure performance choice
+// and never leaks into results, digests, or traces.
+#pragma once
+
+namespace itb::dsp::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Best vector level compiled into this binary (kScalar when the build had
+/// no vector TU, e.g. -DITB_ENABLE_SIMD=OFF or an unsupported compiler).
+Level compiled_level();
+
+/// Level actually usable on this machine: compiled_level() gated by runtime
+/// CPU feature detection and the ITB_DISABLE_SIMD environment variable
+/// (any non-empty value other than "0" forces scalar).
+Level detected_level();
+
+/// Level the kernel dispatch is currently using. Equals detected_level()
+/// unless set_simd_enabled(false) forced scalar.
+Level active_level();
+
+/// Runtime override, primarily for the parity suite and the forced-scalar
+/// CI leg: set_simd_enabled(false) routes every kernel through the scalar
+/// reference; set_simd_enabled(true) restores detected_level(). Thread-safe;
+/// not intended to be flipped concurrently with in-flight kernels.
+void set_simd_enabled(bool enabled);
+
+/// True when active_level() != kScalar.
+bool simd_active();
+
+/// Human-readable name for diagnostics ("scalar", "avx2", "neon").
+const char* level_name(Level level);
+
+}  // namespace itb::dsp::simd

@@ -1,0 +1,25 @@
+#include "dsp/simd/kernels.h"
+
+#include "dsp/simd/dispatch.h"
+
+namespace itb::dsp::simd {
+
+const KernelTable& active_kernels() {
+  switch (active_level()) {
+    case Level::kAvx2: {
+      const KernelTable* t = avx2_kernels();
+      if (t != nullptr) return *t;
+      break;
+    }
+    case Level::kNeon: {
+      const KernelTable* t = neon_kernels();
+      if (t != nullptr) return *t;
+      break;
+    }
+    case Level::kScalar:
+      break;
+  }
+  return *scalar_kernels();
+}
+
+}  // namespace itb::dsp::simd

@@ -1,0 +1,308 @@
+// NEON (aarch64 Advanced SIMD) kernel table. Same determinism discipline as
+// kernels_avx2.cpp: explicit mul/add intrinsics only (no vfmaq — fusing
+// would change rounding), sign flips via EOR on the sign bit (exact), and
+// the TU is compiled with -ffp-contract=off so the compiler cannot contract
+// the separate mul/add either. A 128-bit vector holds ONE complex value;
+// addsub(a, b) = [a0 - b0, a1 + b1] is emulated as a + (b with lane 0
+// negated), which is bit-identical to the AVX2/scalar operation sequence.
+#include "dsp/simd/kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON) && !defined(ITB_SIMD_BUILD_OFF)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace itb::dsp::simd {
+namespace {
+
+using std::size_t;
+
+inline const double* dptr(const Complex* p) {
+  return reinterpret_cast<const double*>(p);
+}
+inline double* dptr(Complex* p) { return reinterpret_cast<double*>(p); }
+
+inline float64x2_t neg_lane0(float64x2_t v) {
+  const uint64x2_t mask = vcombine_u64(vcreate_u64(0x8000000000000000ULL),
+                                       vcreate_u64(0));
+  return vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+inline float64x2_t neg_lane1(float64x2_t v) {
+  const uint64x2_t mask = vcombine_u64(vcreate_u64(0),
+                                       vcreate_u64(0x8000000000000000ULL));
+  return vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+inline float64x2_t swap_lanes(float64x2_t v) { return vextq_f64(v, v, 1); }
+
+// [a0 - b0, a1 + b1], computed as a + [-b0, b1] (exact IEEE a - b).
+inline float64x2_t addsub(float64x2_t a, float64x2_t b) {
+  return vaddq_f64(a, neg_lane0(b));
+}
+
+void cmul_pointwise(Complex* a, const Complex* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float64x2_t va = vld1q_f64(dptr(a + i));
+    const float64x2_t vb = vld1q_f64(dptr(b + i));
+    const float64x2_t ar = vdupq_laneq_f64(va, 0);
+    const float64x2_t ai = vdupq_laneq_f64(va, 1);
+    vst1q_f64(dptr(a + i),
+              addsub(vmulq_f64(ar, vb), vmulq_f64(ai, swap_lanes(vb))));
+  }
+}
+
+void scale_real(Complex* x, Real s, size_t n) {
+  double* d = dptr(x);
+  const size_t nd = 2 * n;
+  const float64x2_t vs = vdupq_n_f64(s);
+  size_t i = 0;
+  for (; i + 2 <= nd; i += 2) {
+    vst1q_f64(d + i, vmulq_f64(vld1q_f64(d + i), vs));
+  }
+  for (; i < nd; ++i) d[i] *= s;
+}
+
+Complex dot_conj(const Complex* x, const Complex* p, size_t n) {
+  float64x2_t acc[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                        vdupq_n_f64(0.0)};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t lane = 0; lane < 4; ++lane) {
+      const float64x2_t xv = vld1q_f64(dptr(x + i + lane));
+      const float64x2_t pv = vld1q_f64(dptr(p + i + lane));
+      // vpaddq([xr*pr, xi*pi], [xi*pr, -(xr*pi)]) = [re_inc, im_inc].
+      const float64x2_t inc = vpaddq_f64(
+          vmulq_f64(xv, pv), vmulq_f64(swap_lanes(xv), neg_lane1(pv)));
+      acc[lane] = vaddq_f64(acc[lane], inc);
+    }
+  }
+  double lanes[8];
+  for (size_t lane = 0; lane < 4; ++lane) vst1q_f64(lanes + 2 * lane, acc[lane]);
+  for (; i < n; ++i) {
+    const size_t lane = i % 4;
+    const Real xr = x[i].real();
+    const Real xi = x[i].imag();
+    const Real pr = p[i].real();
+    const Real pi = p[i].imag();
+    lanes[2 * lane] += xr * pr + xi * pi;
+    lanes[2 * lane + 1] += xi * pr - xr * pi;
+  }
+  return Complex((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]),
+                 (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+}
+
+void correlate_real(const Complex* x, size_t nx, const Real* p, size_t np,
+                    Complex* out) {
+  const size_t n_out = nx - np + 1;
+  size_t i = 0;
+  for (; i + 2 <= n_out; i += 2) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < np; ++k) {
+      const float64x2_t pk = vdupq_n_f64(p[k]);
+      acc0 = vaddq_f64(acc0, vmulq_f64(vld1q_f64(dptr(x + i + k)), pk));
+      acc1 = vaddq_f64(acc1, vmulq_f64(vld1q_f64(dptr(x + i + k + 1)), pk));
+    }
+    vst1q_f64(dptr(out + i), acc0);
+    vst1q_f64(dptr(out + i + 1), acc1);
+  }
+  for (; i < n_out; ++i) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < np; ++k) {
+      acc = vaddq_f64(acc,
+                      vmulq_f64(vld1q_f64(dptr(x + i + k)), vdupq_n_f64(p[k])));
+    }
+    vst1q_f64(dptr(out + i), acc);
+  }
+}
+
+void correlate_conj(const Complex* x, size_t nx, const Complex* p, size_t np,
+                    Complex* out) {
+  const size_t n_out = nx - np + 1;
+  for (size_t i = 0; i < n_out; ++i) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < np; ++k) {
+      const float64x2_t pr = vdupq_n_f64(p[k].real());
+      const float64x2_t npi = vdupq_n_f64(-p[k].imag());
+      const float64x2_t xv = vld1q_f64(dptr(x + i + k));
+      acc = vaddq_f64(
+          acc, addsub(vmulq_f64(xv, pr), vmulq_f64(swap_lanes(xv), npi)));
+    }
+    vst1q_f64(dptr(out + i), acc);
+  }
+}
+
+void despread_real(const Complex* chips, const Real* p, size_t np, size_t nsym,
+                   Real divisor, Complex* out) {
+  const float64x2_t div = vdupq_n_f64(divisor);
+  for (size_t s = 0; s < nsym; ++s) {
+    const Complex* block = chips + s * np;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < np; ++k) {
+      acc = vaddq_f64(acc,
+                      vmulq_f64(vld1q_f64(dptr(block + k)), vdupq_n_f64(p[k])));
+    }
+    vst1q_f64(dptr(out + s), vdivq_f64(acc, div));
+  }
+}
+
+void accum_scaled_conj(Complex* acc, const Complex* p, Complex s, size_t n) {
+  const float64x2_t sr = vdupq_n_f64(s.real());
+  const float64x2_t si = vdupq_n_f64(s.imag());
+  for (size_t j = 0; j < n; ++j) {
+    const float64x2_t q = neg_lane1(vld1q_f64(dptr(p + j)));
+    const float64x2_t inc =
+        addsub(vmulq_f64(sr, q), vmulq_f64(si, swap_lanes(q)));
+    vst1q_f64(dptr(acc + j), vaddq_f64(vld1q_f64(dptr(acc + j)), inc));
+  }
+}
+
+void fir_scatter_real(const Complex* x, size_t nx, const Real* taps, size_t nt,
+                      Complex* y) {
+  double* yd = dptr(y);
+  for (size_t i = 0; i < nx; ++i) {
+    const float64x2_t xv = vld1q_f64(dptr(x + i));
+    double* yi = yd + 2 * i;
+    for (size_t k = 0; k < nt; ++k) {
+      const float64x2_t prod = vmulq_f64(xv, vdupq_n_f64(taps[k]));
+      vst1q_f64(yi + 2 * k, vaddq_f64(vld1q_f64(yi + 2 * k), prod));
+    }
+  }
+}
+
+void fir_causal_complex(const Complex* x, size_t n, const Complex* taps,
+                        size_t nt, Complex* y) {
+  const size_t ramp = std::min(n, nt - 1);
+  for (size_t i = 0; i < ramp; ++i) {
+    const size_t kmax = std::min(nt, i + 1);
+    Real ar = 0.0;
+    Real ai = 0.0;
+    for (size_t k = 0; k < kmax; ++k) {
+      const Real tr = taps[k].real();
+      const Real ti = taps[k].imag();
+      const Real xr = x[i - k].real();
+      const Real xi = x[i - k].imag();
+      ar += tr * xr - ti * xi;
+      ai += tr * xi + ti * xr;
+    }
+    y[i] = Complex(ar, ai);
+  }
+  for (size_t i = ramp; i < n; ++i) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t k = 0; k < nt; ++k) {
+      const float64x2_t tr = vdupq_n_f64(taps[k].real());
+      const float64x2_t ti = vdupq_n_f64(taps[k].imag());
+      const float64x2_t xv = vld1q_f64(dptr(x + (i - k)));
+      acc = vaddq_f64(
+          acc, addsub(vmulq_f64(xv, tr), vmulq_f64(swap_lanes(xv), ti)));
+    }
+    vst1q_f64(dptr(y + i), acc);
+  }
+}
+
+void iq_imbalance(Complex* v, Complex alpha, Complex beta, size_t n) {
+  const float64x2_t ar = vdupq_n_f64(alpha.real());
+  const float64x2_t ai = vdupq_n_f64(alpha.imag());
+  const float64x2_t br = vdupq_n_f64(beta.real());
+  const float64x2_t bi = vdupq_n_f64(beta.imag());
+  for (size_t i = 0; i < n; ++i) {
+    const float64x2_t vv = vld1q_f64(dptr(v + i));
+    const float64x2_t t1 =
+        addsub(vmulq_f64(ar, vv), vmulq_f64(ai, swap_lanes(vv)));
+    const float64x2_t q = neg_lane1(vv);  // conj(v), exact
+    const float64x2_t t2 =
+        addsub(vmulq_f64(br, q), vmulq_f64(bi, swap_lanes(q)));
+    vst1q_f64(dptr(v + i), vaddq_f64(t1, t2));
+  }
+}
+
+void quantize_midrise(Complex* x, Real full_scale, Real step, size_t n) {
+  double* d = dptr(x);
+  const size_t nd = 2 * n;
+  const float64x2_t lo = vdupq_n_f64(-full_scale);
+  const float64x2_t hi = vdupq_n_f64(full_scale - step);
+  const float64x2_t vstep = vdupq_n_f64(step);
+  const float64x2_t half = vdupq_n_f64(0.5);
+  size_t i = 0;
+  for (; i + 2 <= nd; i += 2) {
+    const float64x2_t v = vld1q_f64(d + i);
+    const float64x2_t c = vminq_f64(vmaxq_f64(v, lo), hi);
+    const float64x2_t q = vmulq_f64(
+        vaddq_f64(vrndmq_f64(vdivq_f64(c, vstep)), half), vstep);
+    vst1q_f64(d + i, q);
+  }
+  const Real los = -full_scale;
+  const Real his = full_scale - step;
+  for (; i < nd; ++i) {
+    const Real c = std::min(std::max(d[i], los), his);
+    d[i] = (std::floor(c / step) + 0.5) * step;
+  }
+}
+
+void fft_stage2(Complex* a, size_t n) {
+  for (size_t i = 0; i + 2 <= n; i += 2) {
+    const float64x2_t u = vld1q_f64(dptr(a + i));
+    const float64x2_t v = vld1q_f64(dptr(a + i + 1));
+    vst1q_f64(dptr(a + i), vaddq_f64(u, v));
+    vst1q_f64(dptr(a + i + 1), vsubq_f64(u, v));
+  }
+}
+
+void fft_stage4(Complex* a, size_t n, bool inverse) {
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    const float64x2_t u0 = vld1q_f64(dptr(a + i));
+    const float64x2_t u1 = vld1q_f64(dptr(a + i + 1));
+    const float64x2_t v0 = vld1q_f64(dptr(a + i + 2));
+    const float64x2_t t = vld1q_f64(dptr(a + i + 3));
+    // Forward: t' = [ti, -tr]; inverse: t' = [-ti, tr].
+    const float64x2_t ts = swap_lanes(t);
+    const float64x2_t tp = inverse ? neg_lane0(ts) : neg_lane1(ts);
+    vst1q_f64(dptr(a + i), vaddq_f64(u0, v0));
+    vst1q_f64(dptr(a + i + 2), vsubq_f64(u0, v0));
+    vst1q_f64(dptr(a + i + 1), vaddq_f64(u1, tp));
+    vst1q_f64(dptr(a + i + 3), vsubq_f64(u1, tp));
+  }
+}
+
+void fft_radix2_stage(Complex* lo, Complex* hi, const Complex* tw, size_t half,
+                      bool inverse) {
+  for (size_t k = 0; k < half; ++k) {
+    float64x2_t w = vld1q_f64(dptr(tw + k));
+    if (inverse) w = neg_lane1(w);
+    const float64x2_t wr = vdupq_laneq_f64(w, 0);
+    const float64x2_t wi = vdupq_laneq_f64(w, 1);
+    const float64x2_t h = vld1q_f64(dptr(hi + k));
+    const float64x2_t v =
+        addsub(vmulq_f64(h, wr), vmulq_f64(swap_lanes(h), wi));
+    const float64x2_t l = vld1q_f64(dptr(lo + k));
+    vst1q_f64(dptr(hi + k), vsubq_f64(l, v));
+    vst1q_f64(dptr(lo + k), vaddq_f64(l, v));
+  }
+}
+
+}  // namespace
+
+const KernelTable* neon_kernels() {
+  static const KernelTable table = {
+      cmul_pointwise, scale_real,        dot_conj,
+      correlate_real, correlate_conj,    despread_real,
+      accum_scaled_conj, fir_scatter_real, fir_causal_complex,
+      iq_imbalance,   quantize_midrise,  fft_stage2,
+      fft_stage4,     fft_radix2_stage,
+  };
+  return &table;
+}
+
+}  // namespace itb::dsp::simd
+
+#else  // !aarch64 NEON
+
+namespace itb::dsp::simd {
+const KernelTable* neon_kernels() { return nullptr; }
+}  // namespace itb::dsp::simd
+
+#endif

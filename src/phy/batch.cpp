@@ -1,0 +1,63 @@
+#include "phy/batch.h"
+
+#include <cassert>
+
+#include "dsp/fft_plan.h"
+#include "dsp/simd/kernels.h"
+
+namespace itb::phy {
+
+Batch::Batch(std::size_t lanes, std::size_t samples)
+    : Batch(lanes, samples, core::thread_arena()) {}
+
+Batch::Batch(std::size_t lanes, std::size_t samples, core::Arena& arena)
+    : data_(arena.alloc_span_zeroed<Complex>(lanes * samples)),
+      lanes_(lanes),
+      samples_(samples) {}
+
+void Batch::load(std::size_t i, std::span<const Complex> src) {
+  assert(src.size() == samples_);
+  std::span<Complex> dst = lane(i);
+  for (std::size_t k = 0; k < samples_; ++k) dst[k] = src[k];
+}
+
+void Batch::scale(Real s) {
+  const dsp::simd::KernelTable& kern = dsp::simd::active_kernels();
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    kern.scale_real(lane(i).data(), s, samples_);
+  }
+}
+
+void Batch::pointwise_mul(std::span<const Complex> spectrum) {
+  assert(spectrum.size() == samples_);
+  const dsp::simd::KernelTable& kern = dsp::simd::active_kernels();
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    kern.cmul_pointwise(lane(i).data(), spectrum.data(), samples_);
+  }
+}
+
+void Batch::iq_imbalance(Complex alpha, Complex beta) {
+  const dsp::simd::KernelTable& kern = dsp::simd::active_kernels();
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    kern.iq_imbalance(lane(i).data(), alpha, beta, samples_);
+  }
+}
+
+void Batch::quantize_midrise(Real full_scale, Real step) {
+  const dsp::simd::KernelTable& kern = dsp::simd::active_kernels();
+  for (std::size_t i = 0; i < lanes_; ++i) {
+    kern.quantize_midrise(lane(i).data(), full_scale, step, samples_);
+  }
+}
+
+void Batch::fft_forward(const dsp::FftPlan& plan) {
+  assert(plan.size() == samples_);
+  for (std::size_t i = 0; i < lanes_; ++i) plan.forward(lane(i));
+}
+
+void Batch::fft_inverse(const dsp::FftPlan& plan) {
+  assert(plan.size() == samples_);
+  for (std::size_t i = 0; i < lanes_; ++i) plan.inverse(lane(i));
+}
+
+}  // namespace itb::phy

@@ -1,0 +1,79 @@
+// Batched PHY processing: a set of equal-length complex lanes in one
+// contiguous arena slab, with batch-wide operations that run each lane
+// through the same runtime-dispatched kernels (dsp/simd) as the single-shot
+// APIs.
+//
+// The batch exists for sweep-style workloads (Monte-Carlo trials, ablation
+// grids) that process many same-shaped waveforms back to back: one slab
+// allocation per batch instead of one vector per waveform, and one
+// dispatch-table load per operation instead of per waveform.
+//
+// Determinism contract: every operation visits lanes in ascending index
+// order and applies the exact kernel the scalar API would, so for any lane
+// `b.lane(i)` the batched result is bit-identical to calling the
+// corresponding single-waveform function on that lane — with or without
+// SIMD enabled (see DESIGN.md "Batched PHY engine and dispatch
+// determinism").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/arena.h"
+#include "dsp/types.h"
+
+namespace itb::dsp {
+class FftPlan;
+}  // namespace itb::dsp
+
+namespace itb::phy {
+
+using itb::dsp::Complex;
+using itb::dsp::Real;
+
+class Batch {
+ public:
+  /// Carves lanes*samples complex slots out of `arena` (default: the calling
+  /// thread's arena), zero-initialized. The batch must not outlive the
+  /// enclosing core::ArenaFrame.
+  Batch(std::size_t lanes, std::size_t samples);
+  Batch(std::size_t lanes, std::size_t samples, core::Arena& arena);
+
+  std::size_t lanes() const { return lanes_; }
+  std::size_t samples() const { return samples_; }
+
+  std::span<Complex> lane(std::size_t i) {
+    return data_.subspan(i * samples_, samples_);
+  }
+  std::span<const Complex> lane(std::size_t i) const {
+    return data_.subspan(i * samples_, samples_);
+  }
+  /// All lanes, lane-major contiguous.
+  std::span<Complex> flat() { return data_; }
+  std::span<const Complex> flat() const { return data_; }
+
+  /// Copies `src` into lane i (src.size() must equal samples()).
+  void load(std::size_t i, std::span<const Complex> src);
+
+  // --- batched operations (lane order ascending, dispatch kernels) --------
+
+  /// lane[i] *= s for every lane.
+  void scale(Real s);
+  /// Pointwise complex multiply of every lane by `spectrum`
+  /// (spectrum.size() == samples()).
+  void pointwise_mul(std::span<const Complex> spectrum);
+  /// Widely-linear IQ imbalance v = alpha*v + beta*conj(v) on every lane.
+  void iq_imbalance(Complex alpha, Complex beta);
+  /// Mid-rise ADC quantization of every lane (see channel::ImpairmentChain).
+  void quantize_midrise(Real full_scale, Real step);
+  /// In-place forward/inverse FFT of every lane (plan.size() == samples()).
+  void fft_forward(const dsp::FftPlan& plan);
+  void fft_inverse(const dsp::FftPlan& plan);
+
+ private:
+  std::span<Complex> data_;
+  std::size_t lanes_ = 0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace itb::phy

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsp/simd/kernels.h"
+
 namespace itb::wifi {
 
 void spread_symbol(Complex symbol, CVec& out) {
@@ -18,15 +20,20 @@ CVec spread(std::span<const Complex> symbols) {
 
 CVec despread(std::span<const Complex> chips) {
   assert(chips.size() % kBarker.size() == 0);
+  static const std::array<Real, 11> kBarkerReal = [] {
+    std::array<Real, 11> b{};
+    for (std::size_t k = 0; k < kBarker.size(); ++k) {
+      b[k] = static_cast<Real>(kBarker[k]);
+    }
+    return b;
+  }();
   const std::size_t n = chips.size() / kBarker.size();
   CVec out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Complex acc{0.0, 0.0};
-    for (std::size_t k = 0; k < kBarker.size(); ++k) {
-      acc += chips[i * kBarker.size() + k] * static_cast<Real>(kBarker[k]);
-    }
-    out[i] = acc / static_cast<Real>(kBarker.size());
-  }
+  // Vectorized across symbols; each symbol's chip accumulation stays
+  // sequential (k ascending), so results match the scalar loop bit-for-bit.
+  dsp::simd::active_kernels().despread_real(
+      chips.data(), kBarkerReal.data(), kBarker.size(), n,
+      static_cast<Real>(kBarker.size()), out.data());
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsp/simd/kernels.h"
 #include "wifi/dpsk.h"
 
 namespace itb::wifi {
@@ -97,6 +98,12 @@ CckDemodulator::CckDemodulator(DsssRate rate) : rate_(rate) {
     c.base_codeword = cck_codeword(0.0, c.phases[0], c.phases[1], c.phases[2]);
     candidates_.push_back(std::move(c));
   }
+  for (std::size_t k = 0; k < kCckChipsPerSymbol; ++k) {
+    columns_[k].resize(candidates_.size());
+    for (std::size_t v = 0; v < candidates_.size(); ++v) {
+      columns_[k][v] = candidates_[v].base_codeword[k];
+    }
+  }
 }
 
 void CckDemodulator::reset(Real reference_phase_rad) {
@@ -114,20 +121,25 @@ Bits CckDemodulator::demodulate(std::span<const Complex> chips,
         chips.subspan(s * kCckChipsPerSymbol, kCckChipsPerSymbol);
 
     // Correlate against every base codeword; the strongest match gives the
-    // data phases, and its complex correlation carries e^{j p1}.
+    // data phases, and its complex correlation carries e^{j p1}. The search
+    // runs chip-major so it vectorizes across the (up to 64) candidates;
+    // each candidate's correlation still accumulates chips in ascending
+    // order, so the result is bit-identical to the per-candidate loop.
+    const itb::dsp::simd::KernelTable& kern = itb::dsp::simd::active_kernels();
+    std::array<Complex, 64> acc{};
+    for (std::size_t k = 0; k < kCckChipsPerSymbol; ++k) {
+      kern.accum_scaled_conj(acc.data(), columns_[k].data(), block[k],
+                             candidates_.size());
+    }
     const Candidate* best = nullptr;
     Complex best_corr{0.0, 0.0};
     Real best_mag = -1.0;
-    for (const Candidate& c : candidates_) {
-      Complex acc{0.0, 0.0};
-      for (std::size_t k = 0; k < kCckChipsPerSymbol; ++k) {
-        acc += block[k] * std::conj(c.base_codeword[k]);
-      }
-      const Real mag = std::norm(acc);
+    for (std::size_t v = 0; v < candidates_.size(); ++v) {
+      const Real mag = std::norm(acc[v]);
       if (mag > best_mag) {
         best_mag = mag;
-        best = &c;
-        best_corr = acc;
+        best = &candidates_[v];
+        best_corr = acc[v];
       }
     }
     assert(best != nullptr);

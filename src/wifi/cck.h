@@ -82,6 +82,11 @@ class CckDemodulator {
     std::array<Complex, kCckChipsPerSymbol> base_codeword;  // with p1 = 0
   };
   std::vector<Candidate> candidates_;
+  /// Chip-major transpose of the candidate codewords: columns_[k][cand] is
+  /// chip k of candidate cand. Lets the codeword search vectorize across
+  /// candidates while each candidate still accumulates its chips in
+  /// ascending order (bit-identical to the per-candidate scalar loop).
+  std::array<CVec, kCckChipsPerSymbol> columns_;
 };
 
 }  // namespace itb::wifi

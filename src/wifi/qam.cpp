@@ -77,6 +77,12 @@ Real gray_to_level(std::span<const std::uint8_t> bits) {
 void level_to_gray(Real level, std::size_t width, Bits& out) {
   // Quantize to the nearest odd level in range, then inverse-map.
   const Real max_level = width == 1 ? 1.0 : (width == 2 ? 3.0 : 7.0);
+  // A NaN soft value (e.g. propagated through an impairment chain or an
+  // equalizer division by a null estimate) would sail through std::round and
+  // std::clamp into static_cast<int>, which is undefined behaviour for NaN.
+  // Pin it deterministically to the most negative level — the all-zeros Gray
+  // group. +-inf need no guard: they clamp to +-max_level below.
+  if (std::isnan(level)) level = -max_level;
   Real q = std::round((level + max_level) / 2.0) * 2.0 - max_level;
   q = std::clamp(q, -max_level, max_level);
   const int iv = static_cast<int>(q);
@@ -142,6 +148,30 @@ void level_to_gray(Real level, std::size_t width, Bits& out) {
   }
 }
 
+/// Appends the demapped bits of one symbol to `out` without the per-symbol
+/// Bits allocation of qam_unmap_symbol (the batched demap path).
+void unmap_symbol_into(Complex symbol, Modulation m, Real inv_k, Bits& out) {
+  const Real re = symbol.real() * inv_k;
+  const Real im = symbol.imag() * inv_k;
+  switch (m) {
+    case Modulation::kBpsk:
+      level_to_gray(re, 1, out);
+      break;
+    case Modulation::kQpsk:
+      level_to_gray(re, 1, out);
+      level_to_gray(im, 1, out);
+      break;
+    case Modulation::k16Qam:
+      level_to_gray(re, 2, out);
+      level_to_gray(im, 2, out);
+      break;
+    case Modulation::k64Qam:
+      level_to_gray(re, 3, out);
+      level_to_gray(im, 3, out);
+      break;
+  }
+}
+
 }  // namespace
 
 Complex qam_map_symbol(std::span<const std::uint8_t> bits, Modulation m) {
@@ -179,35 +209,16 @@ CVec qam_modulate(const Bits& bits, Modulation m) {
 
 Bits qam_unmap_symbol(Complex symbol, Modulation m) {
   Bits out;
-  const Real inv_k = 1.0 / qam_norm(m);
-  const Real re = symbol.real() * inv_k;
-  const Real im = symbol.imag() * inv_k;
-  switch (m) {
-    case Modulation::kBpsk:
-      level_to_gray(re, 1, out);
-      break;
-    case Modulation::kQpsk:
-      level_to_gray(re, 1, out);
-      level_to_gray(im, 1, out);
-      break;
-    case Modulation::k16Qam:
-      level_to_gray(re, 2, out);
-      level_to_gray(im, 2, out);
-      break;
-    case Modulation::k64Qam:
-      level_to_gray(re, 3, out);
-      level_to_gray(im, 3, out);
-      break;
-  }
+  unmap_symbol_into(symbol, m, 1.0 / qam_norm(m), out);
   return out;
 }
 
 Bits qam_demodulate(std::span<const Complex> symbols, Modulation m) {
   Bits out;
   out.reserve(symbols.size() * bits_per_symbol(m));
+  const Real inv_k = 1.0 / qam_norm(m);
   for (const Complex& s : symbols) {
-    const Bits b = qam_unmap_symbol(s, m);
-    out.insert(out.end(), b.begin(), b.end());
+    unmap_symbol_into(s, m, inv_k, out);
   }
   return out;
 }

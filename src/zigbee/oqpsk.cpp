@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dsp/fir.h"
+#include "dsp/simd/kernels.h"
 #include "obs/prof.h"
 #include "phycommon/bits.h"
 
@@ -134,21 +135,26 @@ Bytes OqpskDemodulator::soft_chips_to_bytes(const CVec& soft,
   static const std::size_t kZone = obs::prof_zone("phy.soft_despread");
   const obs::ProfZone prof(kZone);
   if (block_chips == 0) block_chips = kChipsPerSymbol;
-  // Complex PN patterns: chip bit -> +-1 on the I axis (even chips) or the
-  // Q axis (odd chips).
-  static const std::array<std::array<Complex, kChipsPerSymbol>, 16> patterns =
+  // Complex PN patterns, stored chip-major (one 16-candidate column per
+  // chip): chip bit -> +-1 on the I axis (even chips) or the Q axis (odd
+  // chips). The column layout lets the despread vectorize ACROSS the 16
+  // candidate symbols — each candidate's accumulator still sees its chips
+  // in ascending order, so the metric is bit-identical to the per-candidate
+  // scalar loop.
+  static const std::array<std::array<Complex, 16>, kChipsPerSymbol> columns =
       [] {
-        std::array<std::array<Complex, kChipsPerSymbol>, 16> p{};
+        std::array<std::array<Complex, 16>, kChipsPerSymbol> p{};
         for (unsigned sym = 0; sym < 16; ++sym) {
           const std::uint32_t packed = chip_table()[sym];
           for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
             const Real v = ((packed >> c) & 1) ? 1.0 : -1.0;
-            p[sym][c] = (c % 2 == 0) ? Complex{v, 0.0} : Complex{0.0, v};
+            p[c][sym] = (c % 2 == 0) ? Complex{v, 0.0} : Complex{0.0, v};
           }
         }
         return p;
       }();
 
+  const dsp::simd::KernelTable& kern = dsp::simd::active_kernels();
   const std::size_t nsym = soft.size() / kChipsPerSymbol;
   Bytes out;
   for (std::size_t s = 0; s < nsym; s += 2) {
@@ -156,31 +162,36 @@ Bytes OqpskDemodulator::soft_chips_to_bytes(const CVec& soft,
     for (unsigned nib = 0; nib < 2; ++nib) {
       if (s + nib >= nsym) break;
       const std::size_t at = (s + nib) * kChipsPerSymbol;
+      // Differential post-detection integration: correlate per sub-block,
+      // then combine adjacent blocks through Re(acc_b * conj(acc_{b-1})).
+      // A common rotation cancels in the product and a slow CFO only costs
+      // cos(delta) per block step, but a phase jump mid-symbol (corrupted
+      // chips, genuine symbol boundary mismatch) turns its contribution
+      // negative — unlike a magnitude sum, which is blind to block-aligned
+      // inversions.
+      std::array<Real, 16> metric{};
+      std::array<Complex, 16> prev{};
+      bool have_prev = false;
+      for (std::size_t b0 = 0; b0 < kChipsPerSymbol; b0 += block_chips) {
+        std::array<Complex, 16> acc{};
+        const std::size_t bend = std::min(b0 + block_chips, kChipsPerSymbol);
+        for (std::size_t c = b0; c < bend; ++c) {
+          kern.accum_scaled_conj(acc.data(), columns[c].data(), soft[at + c],
+                                 16);
+        }
+        if (have_prev) {
+          for (unsigned cand = 0; cand < 16; ++cand) {
+            metric[cand] += (acc[cand] * std::conj(prev[cand])).real();
+          }
+        }
+        prev = acc;
+        have_prev = true;
+      }
       unsigned best_sym = 0;
       Real best_metric = -std::numeric_limits<Real>::infinity();
       for (unsigned cand = 0; cand < 16; ++cand) {
-        // Differential post-detection integration: correlate per sub-block,
-        // then combine adjacent blocks through Re(acc_b * conj(acc_{b-1})).
-        // A common rotation cancels in the product and a slow CFO only costs
-        // cos(delta) per block step, but a phase jump mid-symbol (corrupted
-        // chips, genuine symbol boundary mismatch) turns its contribution
-        // negative — unlike a magnitude sum, which is blind to block-aligned
-        // inversions.
-        Real metric = 0.0;
-        Complex prev{0.0, 0.0};
-        bool have_prev = false;
-        for (std::size_t b0 = 0; b0 < kChipsPerSymbol; b0 += block_chips) {
-          Complex acc{0.0, 0.0};
-          const std::size_t bend = std::min(b0 + block_chips, kChipsPerSymbol);
-          for (std::size_t c = b0; c < bend; ++c) {
-            acc += soft[at + c] * std::conj(patterns[cand][c]);
-          }
-          if (have_prev) metric += (acc * std::conj(prev)).real();
-          prev = acc;
-          have_prev = true;
-        }
-        if (metric > best_metric) {
-          best_metric = metric;
+        if (metric[cand] > best_metric) {
+          best_metric = metric[cand];
           best_sym = cand;
         }
       }

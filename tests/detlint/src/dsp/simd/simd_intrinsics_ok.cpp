@@ -1,0 +1,15 @@
+// Fixture: the same raw intrinsics are sanctioned under src/dsp/simd/ —
+// that directory is where kernels live next to their scalar reference and
+// the SIMD-vs-scalar parity suite.
+#include <immintrin.h>
+
+void avx2_sum(const double* x, double* out) {
+  __m256d acc = _mm256_setzero_pd();
+  acc = _mm256_add_pd(acc, _mm256_loadu_pd(x));
+  _mm256_storeu_pd(out, acc);
+}
+
+void neon_sum(const float* x, float* out) {
+  float32x4_t a = vld1q_f32(x);
+  vst1q_f32(out, vaddq_f32(a, a));
+}

@@ -419,6 +419,52 @@ TEST(Resample, UpsampleDecimateRoundTrip) {
   }
 }
 
+TEST(Resample, DecimateKeepsTrailingPartialStride) {
+  // Regression: decimate used to size its output as n / factor, silently
+  // dropping up to factor - 1 trailing samples whenever the input length was
+  // not a multiple of the factor. The contract is ceil(n / factor): every
+  // index i*factor < n contributes.
+  const CVec x10(10, Complex{1.0, 0.0});
+  EXPECT_EQ(decimate(x10, 3).size(), 4u);   // indices 0, 3, 6, 9
+  EXPECT_EQ(decimate(x10, 4).size(), 3u);   // indices 0, 4, 8
+  const CVec x9(9, Complex{1.0, 0.0});
+  EXPECT_EQ(decimate(x9, 3).size(), 3u);    // exact division unchanged
+  const CVec x1(1, Complex{1.0, 0.0});
+  EXPECT_EQ(decimate(x1, 8).size(), 1u);    // a lone sample survives
+}
+
+TEST(Resample, LinearResampleRoundingOvershootStaysInBounds) {
+  // Regression for the resample_linear index clamp. The output length is
+  // floor((n-1)/ratio) + 1 with two roundings (the division, then the
+  // per-sample product i*ratio); this in_rate/out_rate pair makes the
+  // division round UP to an integer, so the final product lands one ulp
+  // past the last input index (pos > n-1). The loop must clamp the derived
+  // index to n-1 and blend the last sample with itself exactly.
+  const Real in_rate = std::nextafter(7.0 / 17.0, 2.0);  // 0.411764705882353..
+  const Real out_rate = 1.0;
+  const std::size_t n = 8;
+  // Confirm this pair actually exercises the overshoot (same arithmetic as
+  // the implementation).
+  const Real ratio = in_rate / out_rate;
+  const auto out_len =
+      static_cast<std::size_t>(std::floor(static_cast<Real>(n - 1) / ratio)) + 1;
+  ASSERT_EQ(out_len, 18u);
+  ASSERT_GT(static_cast<Real>(out_len - 1) * ratio, static_cast<Real>(n - 1));
+
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = Complex{static_cast<Real>(i) + 1.0, -static_cast<Real>(i)};
+  const CVec y = resample_linear(x, in_rate, out_rate);
+  ASSERT_EQ(y.size(), out_len);
+  // The overshot final sample must equal x.back() bit-for-bit (frac blends
+  // the clamped sample with itself) and every interior sample stays finite.
+  EXPECT_EQ(y.back().real(), x.back().real());
+  EXPECT_EQ(y.back().imag(), x.back().imag());
+  for (const Complex& v : y) {
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  }
+}
+
 TEST(Correlate, FindsEmbeddedPattern) {
   Xoshiro256 rng(7);
   CVec noise(500);

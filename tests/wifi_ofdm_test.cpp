@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <set>
 
 #include "backscatter/detector.h"
 #include "channel/awgn.h"
@@ -177,6 +179,37 @@ TEST(Qam, GrayNeighboursDifferInOneBit) {
   const Bits b = qam_unmap_symbol({-1.0 / std::sqrt(10.0), 1.0 / std::sqrt(10.0)},
                                   Modulation::k16Qam);
   EXPECT_EQ(itb::phy::hamming_distance(a, b), 1u);
+}
+
+TEST(Qam, UnmapMapsNaNAndInfToDefinedLevels) {
+  // Regression: a NaN soft value (propagated through an impairment chain or
+  // an equalizer division by a null channel estimate) used to reach
+  // static_cast<int> inside the Gray demapper — undefined behaviour. NaN now
+  // pins deterministically to the most negative level (the all-zeros Gray
+  // group); +-inf clamp to the outermost levels as before.
+  const Real nan = std::numeric_limits<Real>::quiet_NaN();
+  const Real inf = std::numeric_limits<Real>::infinity();
+
+  // 64-QAM: NaN real -> level -7 -> 000; +inf imag -> level +7 -> 100.
+  const Bits b64 = qam_unmap_symbol({nan, inf}, Modulation::k64Qam);
+  ASSERT_EQ(b64.size(), 6u);
+  EXPECT_EQ(Bits(b64.begin(), b64.begin() + 3), (Bits{0, 0, 0}));
+  EXPECT_EQ(Bits(b64.begin() + 3, b64.end()), (Bits{1, 0, 0}));
+
+  // -inf clamps to the most negative level on any width.
+  const Bits bneg = qam_unmap_symbol({-inf, -inf}, Modulation::k16Qam);
+  EXPECT_EQ(bneg, (Bits{0, 0, 0, 0}));
+
+  // BPSK: NaN -> -1 -> bit 0; both-NaN QPSK -> 00.
+  EXPECT_EQ(qam_unmap_symbol({nan, 0.0}, Modulation::kBpsk), (Bits{0}));
+  EXPECT_EQ(qam_unmap_symbol({nan, nan}, Modulation::kQpsk), (Bits{0, 0}));
+
+  // A NaN-poisoned stream demodulates to the right number of well-formed
+  // bits instead of UB.
+  const CVec poisoned(5, Complex{nan, nan});
+  const Bits all = qam_demodulate(poisoned, Modulation::k64Qam);
+  ASSERT_EQ(all.size(), 30u);
+  for (const auto bit : all) EXPECT_LE(bit, 1);
 }
 
 // --- OFDM symbols -------------------------------------------------------------------

@@ -1,6 +1,6 @@
 // detlint implementation: a hand-rolled C++ lexer (comments, string/char
 // literals, raw strings, identifiers, maximal-munch punctuation) followed by
-// five token-stream rules. Deliberately dependency-free and conservative:
+// six token-stream rules. Deliberately dependency-free and conservative:
 // every heuristic is tuned so that `detlint src/` runs clean on a compliant
 // tree and each rule fires on the minimal bad fixture in tests/detlint/.
 #include "detlint.h"
@@ -232,6 +232,7 @@ struct Ctx {
   std::vector<Finding>* findings;
   bool in_bench = false;
   bool in_obs = false;
+  bool in_simd = false;
 
   void report(std::size_t tok_index, const std::string& rule,
               const std::string& message) {
@@ -735,6 +736,79 @@ void rule_parallel_capture(Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: simd-intrinsics
+// ---------------------------------------------------------------------------
+
+/// Raw vector intrinsics are confined to src/dsp/simd/: every kernel there
+/// is paired with a scalar reference and a bit-exactness parity test, which
+/// is what keeps SIMD results dispatch-invariant. An intrinsic anywhere else
+/// bypasses that discipline (and the forced-scalar CI leg cannot disable it).
+void rule_simd_intrinsics(Ctx& ctx) {
+  if (ctx.in_simd) return;  // the sanctioned kernel directory
+  const Tokens& t = *ctx.tokens;
+  static const std::set<std::string> kIntrinHeaders = {
+      "immintrin", "emmintrin", "xmmintrin", "pmmintrin", "tmmintrin",
+      "smmintrin", "nmmintrin", "wmmintrin", "avxintrin", "avx2intrin",
+      "x86intrin", "arm_neon", "arm_sve"};
+  // NEON intrinsics end in an element-type suffix (vaddq_f64, vld1q_u32...).
+  static const std::set<std::string> kNeonSuffixes = {
+      "_f16", "_f32", "_f64", "_s8",  "_s16", "_s32", "_s64",
+      "_u8",  "_u16", "_u32", "_u64", "_p8",  "_p16", "_p64"};
+  auto has_neon_suffix = [&](const std::string& s) {
+    for (const std::string& suf : kNeonSuffixes) {
+      if (s.size() > suf.size() &&
+          s.compare(s.size() - suf.size(), suf.size(), suf) == 0)
+        return true;
+    }
+    return false;
+  };
+  auto is_neon_vector_type = [](const std::string& s) {
+    // float64x2_t / int32x4_t / uint8x16_t / poly64x2_t shapes.
+    static const char* const kPrefixes[] = {"float", "int",  "uint",
+                                            "poly"};
+    for (const char* p : kPrefixes) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (s.compare(0, len, p) == 0 && s.size() > len + 3 &&
+          s.find('x', len) != std::string::npos &&
+          s.compare(s.size() - 2, 2, "_t") == 0 &&
+          std::isdigit(static_cast<unsigned char>(s[len])))
+        return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (kIntrinHeaders.count(s)) {
+      ctx.report(i, "simd-intrinsics",
+                 "vector-intrinsics header <" + s +
+                     ".h> outside src/dsp/simd/; raw SIMD lives behind the "
+                     "kernel table so the scalar reference and parity tests "
+                     "stay authoritative");
+      continue;
+    }
+    // x86: _mm_/_mm256_/_mm512_ calls and __m128/__m256/__m512 types.
+    if (s.rfind("_mm", 0) == 0 || s.rfind("__m128", 0) == 0 ||
+        s.rfind("__m256", 0) == 0 || s.rfind("__m512", 0) == 0) {
+      ctx.report(i, "simd-intrinsics",
+                 "x86 intrinsic `" + s +
+                     "` outside src/dsp/simd/; add a kernel-table entry with "
+                     "a scalar reference instead");
+      continue;
+    }
+    // NEON: v...q_<elem>( calls and <base><bits>x<lanes>_t vector types.
+    if (is_neon_vector_type(s) ||
+        (s.size() > 2 && s[0] == 'v' && has_neon_suffix(s) &&
+         is(t, i + 1, "("))) {
+      ctx.report(i, "simd-intrinsics",
+                 "NEON intrinsic `" + s +
+                     "` outside src/dsp/simd/; add a kernel-table entry with "
+                     "a scalar reference instead");
+    }
+  }
+}
+
 bool path_in_bench(const std::string& path) {
   return path.find("/bench/") != std::string::npos ||
          path.rfind("bench/", 0) == 0;
@@ -744,12 +818,16 @@ bool path_in_obs(const std::string& path) {
   return path.find("src/obs/") != std::string::npos;
 }
 
+bool path_in_simd(const std::string& path) {
+  return path.find("src/dsp/simd/") != std::string::npos;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "wall-clock", "rng-seed", "unordered-iter", "ptr-order",
-      "parallel-capture"};
+      "parallel-capture", "simd-intrinsics"};
   return kIds;
 }
 
@@ -764,11 +842,13 @@ std::vector<Finding> lint_source(const std::string& path,
   ctx.findings = &findings;
   ctx.in_bench = path_in_bench(path);
   ctx.in_obs = path_in_obs(path);
+  ctx.in_simd = path_in_simd(path);
   rule_wall_clock(ctx);
   rule_rng_seed(ctx);
   rule_unordered_iter(ctx);
   rule_ptr_order(ctx);
   rule_parallel_capture(ctx);
+  rule_simd_intrinsics(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -12,6 +12,9 @@
 //   ptr-order        pointer values used for hashing or ordering
 //   parallel-capture unsynchronized by-reference mutation inside
 //                    core::parallel_for lambda bodies
+//   simd-intrinsics  raw vector intrinsics (x86 _mm*/__m*, NEON v*q_*)
+//                    outside src/dsp/simd/ — kernels must ship behind the
+//                    dispatch table with a scalar reference and parity test
 #pragma once
 
 #include <string>
